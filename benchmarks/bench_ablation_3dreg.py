@@ -1,0 +1,61 @@
+"""Ablation — 3D register file provisioning.
+
+Two sweeps around the paper's design point (2 logical / 4 physical
+registers, 16 x 128-byte elements):
+
+* physical-register (rename) depth, which bounds how many slabs can be
+  in flight and therefore how much load latency double-buffering hides;
+* element width, which bounds the slab a single ``dvload3`` can cover
+  (the area model shows what each option costs).
+"""
+
+from dataclasses import replace
+
+from repro.harness.tables import Table
+from repro.models import rf_area_tracks
+from repro.regfile3d import RegFile3DGeometry
+from repro.timing import mom3d_processor, simulate, vector_memsys
+from repro.workloads import get_benchmark
+
+
+def run_depth_sweep():
+    program = get_benchmark("mpeg2_encode").build("mom3d").program
+    table = Table(["extra phys regs", "cycles"],
+                  title="3D RF rename-depth ablation (mpeg2_encode)")
+    for extra in (1, 2, 4, 8):
+        proc = replace(mom3d_processor(), extra_d3_regs=extra)
+        table.add_row(extra, simulate(program, proc,
+                                      vector_memsys()).cycles)
+    return table
+
+
+def run_width_area_sweep():
+    table = Table(["element bytes", "total bits", "area (wt^2)"],
+                  title="3D RF element-width area cost")
+    for width in (32, 64, 128, 256):
+        geo = RegFile3DGeometry(element_bytes=width)
+        table.add_row(width, geo.total_bits,
+                      rf_area_tracks(geo.total_bits, 1, 1))
+    return table
+
+
+def test_ablation_3d_depth(benchmark):
+    table = benchmark.pedantic(run_depth_sweep, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    cycles = table.column("cycles")
+    # deeper renaming never hurts; the paper's 4 physical (2 extra)
+    # capture almost all of the benefit
+    assert cycles[0] >= cycles[1] >= cycles[2] >= cycles[3]
+    assert cycles[1] - cycles[3] < 0.1 * cycles[1]
+
+
+def test_ablation_3d_width_area(benchmark):
+    table = benchmark.pedantic(run_width_area_sweep, rounds=1,
+                               iterations=1)
+    print()
+    print(table.render())
+    areas = table.column("area (wt^2)")
+    assert areas == sorted(areas)
+    # the paper's 128-byte element costs 1,966,080 square wire tracks
+    assert table.cell(128, "area (wt^2)") == 1_966_080

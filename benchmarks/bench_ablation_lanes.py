@@ -1,0 +1,40 @@
+"""Ablation — MOM SIMD lane count (the paper fixes 4 lanes).
+
+Sweeps the number of lanes of the single MOM SIMD unit (and of the 3D
+RF slice path), showing the compute-side scaling that motivates the
+4-lane choice: below 4 lanes the SIMD unit, not the memory system,
+bounds the media kernels.
+"""
+
+from dataclasses import replace
+
+from repro.harness.tables import Table
+from repro.timing import mom3d_processor, simulate, vector_memsys
+from repro.workloads import get_benchmark
+
+
+def run_lane_sweep():
+    program = get_benchmark("mpeg2_encode").build("mom3d").program
+    table = Table(["lanes", "cycles", "speedup vs 1 lane"],
+                  title="MOM SIMD lane-count ablation (mpeg2_encode, "
+                        "MOM+3D, vector cache)")
+    base = None
+    for lanes in (1, 2, 4, 8):
+        proc = replace(mom3d_processor(), simd_lanes=lanes,
+                       d3_move_lanes=lanes)
+        cycles = simulate(program, proc, vector_memsys()).cycles
+        base = cycles if base is None else base
+        table.add_row(lanes, cycles, base / cycles)
+    return table
+
+
+def test_ablation_lanes(benchmark):
+    table = benchmark.pedantic(run_lane_sweep, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    cycles = table.column("cycles")
+    # more lanes never hurt, and 1 -> 4 lanes must show real scaling
+    assert cycles[0] >= cycles[1] >= cycles[2] >= cycles[3]
+    assert cycles[0] / cycles[2] > 1.3
+    # diminishing returns past the paper's 4 lanes
+    assert cycles[2] / cycles[3] < cycles[0] / cycles[2]

@@ -1,0 +1,40 @@
+"""Ablation — L2 line size vs. the 3D loads' effective bandwidth.
+
+The paper builds the vector memory system over the L2 partly because
+its 128-byte lines make whole-line 3D fetches wide (Sec. 5.3).  This
+sweep shows effective bandwidth and L2 activity as the line shrinks
+or grows around that design point.
+"""
+
+from dataclasses import replace
+
+from repro.harness.tables import Table
+from repro.memsys import HierarchyConfig
+from repro.timing import MemSysConfig, mom3d_processor, simulate
+from repro.workloads import get_benchmark
+
+
+def run_line_sweep():
+    program = get_benchmark("gsm_encode").build("mom3d").program
+    table = Table(["line bytes", "eff bw (w/acc)", "L2 activity",
+                   "cycles"],
+                  title="L2 line-size ablation (gsm_encode, MOM+3D)")
+    for line in (64, 128, 256):
+        memsys = MemSysConfig(
+            name=f"vector-line{line}", kind="vector",
+            hierarchy=HierarchyConfig(l2_line=line))
+        stats = simulate(program, mom3d_processor(), memsys)
+        table.add_row(line, stats.effective_bandwidth, stats.l2_activity,
+                      stats.cycles)
+    return table
+
+
+def test_ablation_linesize(benchmark):
+    table = benchmark.pedantic(run_line_sweep, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    bw = table.column("eff bw (w/acc)")
+    activity = table.column("L2 activity")
+    # wider lines serve a 3D slab with fewer, wider accesses
+    assert bw[0] <= bw[1] <= bw[2]
+    assert activity[0] >= activity[1] >= activity[2]

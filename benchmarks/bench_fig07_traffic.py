@@ -1,0 +1,14 @@
+"""Fig. 7 — vector-cache traffic reduction from 3D vectorization."""
+
+from conftest import run_and_print
+
+from repro.harness.experiments import fig7
+
+
+def test_fig7(benchmark, runner):
+    result = run_and_print(benchmark, fig7, runner)
+    # paper: reuse at the 3D register file cuts the words moved for
+    # the overlap-heavy benchmarks, and jpeg_decode is untouched
+    assert result.table.cell("gsm_encode", "reduction %") > 40
+    assert result.table.cell("mpeg2_encode", "reduction %") > 30
+    assert result.table.cell("jpeg_decode", "reduction %") == 0

@@ -1,0 +1,33 @@
+"""Fig. 9 — slowdown of every ISA / memory sub-system configuration.
+
+The paper's summary figure: MMX-style (multi-banked and ideal), MOM
+(multi-banked and vector cache) and MOM+3D (vector cache), all
+normalized to the idealistic-memory MOM processor.
+"""
+
+from conftest import run_and_print
+
+from repro.harness.experiments import fig9
+from repro.workloads import benchmark_names
+
+
+def test_fig9(benchmark, runner):
+    result = run_and_print(benchmark, fig9, runner)
+    v3_values = []
+    for bench in benchmark_names():
+        vc = result.table.cell(bench, "mom-vc")
+        v3 = result.table.cell(bench, "mom3d-vc")
+        v3_values.append(v3)
+        # 3D never hurts
+        assert v3 <= vc + 0.01
+        # MMX is fetch/issue-bound well above ideal MOM (paper: 1.31x)
+        assert result.table.cell(bench, "mmx-ideal") > 1.2
+    # paper: 3D slowdowns range 1.005x-1.16x (avg 1.08); ours must stay
+    # in a comparable band
+    assert sum(v3_values) / len(v3_values) < 1.2
+    # headline case: mpeg2_encode sees the largest improvement
+    gains = {
+        bench: result.table.cell(bench, "mom-vc")
+        / result.table.cell(bench, "mom3d-vc")
+        for bench in benchmark_names()}
+    assert max(gains, key=gains.get) == "mpeg2_encode"

@@ -1,0 +1,22 @@
+"""Fig. 11 — average power of the memory sub-system (L2 + 3D RF)."""
+
+from conftest import run_and_print
+
+from repro.harness.experiments import fig11
+from repro.workloads import benchmark_names
+
+
+def test_fig11(benchmark, runner):
+    result = run_and_print(benchmark, fig11, runner)
+    for bench in benchmark_names():
+        mb = result.table.cell(bench, "multibank W")
+        d3 = result.table.cell(bench, "vc+3D W")
+        rf = result.table.cell(bench, "3D RF share W")
+        # the 3D configuration is never the most power hungry, and the
+        # 3D RF itself consumes a negligible amount (paper Sec. 6.3)
+        assert d3 <= mb
+        assert rf < 0.5
+    # magnitudes in the paper's 2-20 W band for at least the extremes
+    all_mb = [result.table.cell(b, "multibank W")
+              for b in benchmark_names()]
+    assert max(all_mb) > 5.0

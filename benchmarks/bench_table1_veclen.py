@@ -1,0 +1,22 @@
+"""Table 1 — memory-instruction vector length per dimension."""
+
+import pytest
+from conftest import run_and_print
+
+from repro.harness.experiments import table1
+
+
+def test_table1(benchmark, runner):
+    result = run_and_print(benchmark, table1, runner)
+    # gsm matches the paper's 1st/2nd dimensions exactly: 4 x i16
+    # lanes, 40-sample sub-frames at VL 10
+    assert result.table.cell("gsm_encode", "3d 1st") == pytest.approx(4.0)
+    assert result.table.cell("gsm_encode", "3d 2nd") == pytest.approx(10.0)
+    # jpeg_decode has no 3rd dimension (no 3D instructions)
+    assert result.table.cell("jpeg_decode", "3d 3rd") == 0.0
+    # gsm's lag chunks give the deepest 3rd dimension (paper: 7.7/16)
+    third = {b: result.table.cell(b, "3d 3rd")
+             for b in ("mpeg2_encode", "mpeg2_decode", "jpeg_encode",
+                       "gsm_encode")}
+    assert max(third, key=third.get) == "gsm_encode"
+    assert result.table.cell("gsm_encode", "3d 3rd max") == 16

@@ -1,0 +1,14 @@
+"""Table 3 — register-file area model (must match the paper exactly)."""
+
+from conftest import run_and_print
+
+from repro.harness.experiments import table3
+from repro.models import normalized_areas
+
+
+def test_table3(benchmark, runner):
+    result = run_and_print(benchmark, table3, runner)
+    assert all(match == "exact" for match in result.table.column("match"))
+    norm = normalized_areas()
+    assert round(norm["mom"], 2) == 0.95
+    assert round(norm["mom3d"], 2) == 1.50

@@ -1,0 +1,25 @@
+"""Table 4 — L2 cache activity per memory-system design."""
+
+from conftest import run_and_print
+
+from repro.harness import paper
+from repro.harness.experiments import table4
+from repro.workloads import benchmark_names
+
+
+def test_table4(benchmark, runner):
+    result = run_and_print(benchmark, table4, runner)
+    for bench in benchmark_names():
+        mb = result.table.cell(bench, "multibank")
+        vc = result.table.cell(bench, "vector")
+        d3 = result.table.cell(bench, "vc+3D")
+        assert mb >= vc >= d3
+    # the paper's two sharpest ratios must reproduce: gsm collapses
+    # under 3D (2.31 -> 0.32 M) and jpeg_decode is unchanged
+    gsm_ratio = (result.table.cell("gsm_encode", "vector")
+                 / result.table.cell("gsm_encode", "vc+3D"))
+    paper_ratio = (paper.TABLE4_MILLIONS["gsm_encode"]["vector"]
+                   / paper.TABLE4_MILLIONS["gsm_encode"]["vector3d"])
+    assert gsm_ratio > 0.5 * paper_ratio
+    assert result.table.cell("jpeg_decode", "vector") == \
+        result.table.cell("jpeg_decode", "vc+3D")

@@ -1,0 +1,24 @@
+"""Shared fixtures for the experiment benchmarks.
+
+One session-scoped Runner memoizes every (benchmark, coding, memory
+system, latency) simulation so the full suite reuses runs across
+experiments, exactly as the harness's ``run_all`` does.
+"""
+
+import pytest
+
+from repro.harness import Runner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return Runner(seed=0)
+
+
+def run_and_print(benchmark, experiment_func, runner):
+    """Benchmark one experiment and print its paper-style table."""
+    result = benchmark.pedantic(
+        experiment_func, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,36 @@
+"""Latency robustness (the paper's Fig. 10, plus the VIRAM scenario).
+
+Sweeps the L2 latency from 20 to 100 cycles — past the paper's 60-cycle
+point, toward the "processor-in-memory with no SRAM L2" regime it
+mentions — and shows that the 3D extension's binding prefetch keeps the
+degradation flat while plain MOM keeps losing ground.
+
+Run:  python examples/latency_robustness.py
+"""
+
+from repro.harness import Runner
+from repro.workloads import benchmark_names
+
+LATENCIES = (20, 40, 60, 80, 100)
+
+
+def main() -> None:
+    runner = Runner()
+    print(f"{'benchmark':14s} {'coding':6s} "
+          + "".join(f"lat{lat:>4d} " for lat in LATENCIES))
+    for bench in benchmark_names():
+        rows = {}
+        for coding in ("mom", "mom3d"):
+            base = runner.run(bench, coding, "vector", 20).cycles
+            rows[coding] = [
+                runner.run(bench, coding, "vector", lat).cycles / base
+                for lat in LATENCIES]
+            cells = "".join(f"{x:7.2f} " for x in rows[coding])
+            print(f"{bench:14s} {coding:6s} {cells}")
+        gain = rows["mom"][-1] / rows["mom3d"][-1]
+        print(f"{'':14s} -> at 100 cycles, 3D degrades "
+              f"{100 * (gain - 1):.0f}% less\n")
+
+
+if __name__ == "__main__":
+    main()

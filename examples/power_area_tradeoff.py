@@ -1,0 +1,52 @@
+"""The paper's headline trade-off: +50% register-file area buys a 13%
+average speedup and ~30% L2 power saving.
+
+Reproduces the abstract's three numbers from the area model (Table 3),
+the timing runs (Fig. 9) and the power model (Fig. 11).
+
+Run:  python examples/power_area_tradeoff.py
+"""
+
+from repro.harness import Runner
+from repro.models import config_area, normalized_areas, run_power
+from repro.workloads import benchmark_names
+
+
+def main() -> None:
+    # --- area: what the 3D register file costs -------------------------
+    print("register-file area (square wire tracks):")
+    for config in ("mmx", "mom", "mom3d"):
+        areas = config_area(config)
+        parts = ", ".join(f"{k} {v:,}" for k, v in areas.items()
+                          if k != "total")
+        print(f"  {config:6s} total {areas['total']:>9,}  ({parts})")
+    norm = normalized_areas()
+    overhead = 100 * (norm["mom3d"] - norm["mmx"])
+    print(f"  -> 3D extension costs +{overhead:.0f}% area vs the "
+          f"MMX-style register file (paper: +50%)\n")
+
+    # --- performance and power: what it buys ---------------------------
+    runner = Runner()
+    speedups, vc_l2, d3_l2 = [], [], []
+    print(f"{'benchmark':14s} {'vc cycles':>10s} {'3d cycles':>10s} "
+          f"{'speedup':>8s} {'vc L2 W':>8s} {'3d L2 W':>8s}")
+    for bench in benchmark_names():
+        vc = runner.run(bench, "mom", "vector")
+        v3 = runner.run(bench, "mom3d", "vector")
+        p_vc = run_power(vc, "vector")
+        p_3d = run_power(v3, "vector")
+        speedups.append(vc.cycles / v3.cycles)
+        vc_l2.append(p_vc.l2_watts)
+        d3_l2.append(p_3d.l2_watts)
+        print(f"{bench:14s} {vc.cycles:10d} {v3.cycles:10d} "
+              f"{speedups[-1]:8.2f} {p_vc.l2_watts:8.2f} "
+              f"{p_3d.l2_watts:8.2f}")
+
+    avg_speedup = 100 * (sum(speedups) / len(speedups) - 1)
+    avg_saving = 100 * (1 - sum(d3_l2) / sum(vc_l2))
+    print(f"\naverage speedup {avg_speedup:.0f}% (paper: 13%), "
+          f"L2 power saving {avg_saving:.0f}% (paper: 30%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package (and no network), so
+PEP 660 editable installs cannot build; this shim lets
+``pip install -e .`` fall back to the classic setuptools develop path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro — reproduction of "Three-Dimensional Memory Vectorization for
+High Bandwidth Media Memory Systems" (Corbal, Espasa, Valero; MICRO-35,
+2002).
+
+The package implements the paper's 3D memory-vectorization mechanism on
+top of a full stack of substrates: the MOM 2D vector ISA, a functional
+simulator, an out-of-order timing model, the cache hierarchy with all
+four vector-port designs, register-file area/power models, a prototype
+vectorizing compiler, and the five Mediabench-style workloads in three
+ISA codings.
+
+Quickstart::
+
+    from repro.harness import run_workload
+    stats = run_workload("mpeg2_encode", isa="mom3d", memsys="vector")
+    print(stats.cycles, stats.effective_bandwidth)
+"""
+
+__version__ = "1.0.0"
+
+from repro.isa import (  # noqa: F401
+    ElemType,
+    Instruction,
+    Opcode,
+    Program,
+    ProgramBuilder,
+    acc,
+    d3,
+    r,
+    v,
+)
+from repro.vm import Arena, Executor, FlatMemory, MachineState, execute  # noqa: F401
+
+__all__ = [
+    "Arena", "ElemType", "Executor", "FlatMemory", "Instruction",
+    "MachineState", "Opcode", "Program", "ProgramBuilder", "acc", "d3",
+    "execute", "r", "v",
+]

@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show available experiments and benchmarks.
+* ``run <experiment-id> [...]`` — run specific experiments (e.g.
+  ``fig9 table4``) and print the paper-style tables.
+* ``all`` — run the full evaluation suite.
+* ``bench <name> [--coding C] [--memsys M]`` — simulate one benchmark
+  configuration and print its statistics.
+* ``report -o results.md`` — regenerate the full measured-results
+  document.
+* ``trace <name> <coding> -o trace.bin`` / ``replay trace.bin`` — save
+  a workload's instruction trace (ATOM-style) and re-time it later.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import EXPERIMENTS, Runner, run_all
+from repro.workloads import CODINGS, benchmark_names
+
+
+def _cmd_list(_args) -> int:
+    print("experiments:")
+    for exp_id, func in EXPERIMENTS.items():
+        doc = (func.__doc__ or "").strip().splitlines()[0]
+        print(f"  {exp_id:8s} {doc}")
+    print("benchmarks:")
+    for name in benchmark_names():
+        print(f"  {name}")
+    print(f"codings: {', '.join(CODINGS)}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    runner = Runner(seed=args.seed)
+    unknown = [e for e in args.experiments if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 1
+    for exp_id in args.experiments:
+        print(EXPERIMENTS[exp_id](runner).render())
+        print()
+    return 0
+
+
+def _cmd_all(args) -> int:
+    for result in run_all(Runner(seed=args.seed)):
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    runner = Runner(seed=args.seed)
+    stats = runner.run(args.name, args.coding, args.memsys,
+                       args.l2_latency)
+    print(stats.summary())
+    print(f"  L2 activity:        {stats.l2_activity}")
+    print(f"  words moved:        {stats.cache_words}")
+    print(f"  3D RF words served: {stats.rf3d_words}")
+    print(f"  L2 hit rate:        {stats.l2_hit_rate:.3f}")
+    veclen = stats.veclen
+    print(f"  vector length dims: {veclen.dim1:.1f} / {veclen.dim2:.1f}"
+          f" / {veclen.dim3:.1f} (max {veclen.max_slices_per_load})")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.harness.report import write_report
+
+    write_report(args.output, Runner(seed=args.seed))
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.harness.traceio import export_workload
+
+    nbytes = export_workload(args.name, args.coding, args.output,
+                             seed=args.seed)
+    print(f"wrote {args.output} ({nbytes} bytes)")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.harness.traceio import load_trace
+    from repro.timing import simulate
+    from repro.harness.runner import Runner as _R
+
+    program = load_trace(args.trace)
+    stats = simulate(program, _R._processor(args.coding),
+                     _R._memsys(args.memsys, args.l2_latency))
+    print(stats.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of '3D Memory Vectorization for High "
+                    "Bandwidth Media Memory Systems' (MICRO-35, 2002)")
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and benchmarks")
+
+    p_run = sub.add_parser("run", help="run specific experiments")
+    p_run.add_argument("experiments", nargs="+")
+
+    sub.add_parser("all", help="run the full evaluation suite")
+
+    p_bench = sub.add_parser("bench", help="simulate one benchmark")
+    p_bench.add_argument("name", choices=benchmark_names())
+    p_bench.add_argument("--coding", default="mom3d", choices=CODINGS)
+    p_bench.add_argument("--memsys", default="vector",
+                         choices=("ideal", "vector", "multibank"))
+    p_bench.add_argument("--l2-latency", type=int, default=20)
+
+    p_report = sub.add_parser("report",
+                              help="write the measured-results markdown")
+    p_report.add_argument("-o", "--output", default="results.md")
+
+    p_trace = sub.add_parser("trace", help="export a workload trace")
+    p_trace.add_argument("name", choices=benchmark_names())
+    p_trace.add_argument("coding", choices=CODINGS)
+    p_trace.add_argument("-o", "--output", required=True)
+
+    p_replay = sub.add_parser("replay", help="re-time a saved trace")
+    p_replay.add_argument("trace")
+    p_replay.add_argument("--coding", default="mom3d", choices=CODINGS)
+    p_replay.add_argument("--memsys", default="vector",
+                          choices=("ideal", "vector", "multibank"))
+    p_replay.add_argument("--l2-latency", type=int, default=20)
+
+    args = parser.parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
+                "bench": _cmd_bench, "report": _cmd_report,
+                "trace": _cmd_trace, "replay": _cmd_replay}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at the public API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class IsaError(ReproError):
+    """An instruction was constructed with invalid operands or fields."""
+
+
+class ExecutionError(ReproError):
+    """The functional simulator hit an illegal state while executing."""
+
+
+class MemoryError_(ReproError):
+    """A memory access fell outside the simulated address space."""
+
+
+class ConfigError(ReproError):
+    """A processor or memory-system configuration is inconsistent."""
+
+
+class CompileError(ReproError):
+    """The loop-nest compiler could not vectorize the given nest."""

@@ -1,0 +1,97 @@
+"""Simulation runner with per-session memoization.
+
+Every experiment in the suite reduces to "simulate benchmark X in
+coding Y on memory system Z"; the runner caches those runs so the full
+table/figure suite reuses them instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.timing import (
+    MemSysConfig,
+    ProcessorConfig,
+    RunStats,
+    ideal_memsys,
+    mmx_processor,
+    mom3d_processor,
+    mom_processor,
+    multibank_memsys,
+    simulate,
+    vector_memsys,
+)
+from repro.workloads import BuiltWorkload, get_benchmark
+
+_PROCESSORS = {
+    "mmx": mmx_processor,
+    "mom": mom_processor,
+    "mom3d": mom3d_processor,
+}
+
+
+@dataclass(frozen=True)
+class RunKey:
+    benchmark: str
+    coding: str
+    memsys: str
+    l2_latency: int
+    warm: bool
+
+
+class Runner:
+    """Builds workloads and runs timing simulations, memoized."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._workloads: dict[tuple[str, str], BuiltWorkload] = {}
+        self._runs: dict[RunKey, RunStats] = {}
+
+    def workload(self, benchmark: str, coding: str) -> BuiltWorkload:
+        """Build (once) the trace for one benchmark/coding pair."""
+        key = (benchmark, coding)
+        if key not in self._workloads:
+            self._workloads[key] = get_benchmark(benchmark).build(
+                coding, seed=self.seed)
+        return self._workloads[key]
+
+    def run(self, benchmark: str, coding: str, memsys: str = "vector",
+            l2_latency: int = 20, warm: bool = True) -> RunStats:
+        """Simulate one configuration; cached per (args) tuple.
+
+        ``memsys`` is one of ``ideal``, ``vector``, ``multibank``.
+        ``coding`` picks both the trace and the processor model
+        (``mmx`` / ``mom`` / ``mom3d``).
+        """
+        key = RunKey(benchmark, coding, memsys, l2_latency, warm)
+        if key not in self._runs:
+            program = self.workload(benchmark, coding).program
+            self._runs[key] = simulate(
+                program, self._processor(coding),
+                self._memsys(memsys, l2_latency), warm=warm)
+        return self._runs[key]
+
+    def slowdown(self, benchmark: str, coding: str, memsys: str,
+                 l2_latency: int = 20) -> float:
+        """Cycles relative to the ideal-memory MOM run (paper baseline)."""
+        baseline = self.run(benchmark, "mom", "ideal").cycles
+        return self.run(benchmark, coding, memsys, l2_latency).cycles \
+            / baseline
+
+    @staticmethod
+    def _processor(coding: str) -> ProcessorConfig:
+        try:
+            return _PROCESSORS[coding]()
+        except KeyError:
+            raise ConfigError(f"unknown coding {coding!r}") from None
+
+    @staticmethod
+    def _memsys(name: str, l2_latency: int) -> MemSysConfig:
+        if name == "ideal":
+            return ideal_memsys()
+        if name == "vector":
+            return vector_memsys(l2_latency)
+        if name == "multibank":
+            return multibank_memsys(l2_latency)
+        raise ConfigError(f"unknown memory system {name!r}")

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table."""
+
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *cells) -> None:
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        cells = [[_fmt(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list:
+        """All values of one column, by header name."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def cell(self, row_key, column: str):
+        """Value at (first column == row_key, column)."""
+        index = self.headers.index(column)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[index]
+        raise KeyError(row_key)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

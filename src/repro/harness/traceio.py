@@ -1,0 +1,34 @@
+"""Trace file I/O: persist and replay workload instruction traces.
+
+The binary format of :mod:`repro.isa.encoding` plays the role of the
+paper's ATOM trace files: a generated workload coding can be saved once
+and replayed through any processor/memory configuration without
+rebuilding it (useful for sharing runs or regression-pinning a trace).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.isa.encoding import decode_program, encode_program
+from repro.isa.instructions import Program
+from repro.workloads import get_benchmark
+
+
+def save_trace(program: Program, path: str | Path) -> int:
+    """Write a program to ``path``; returns the byte count."""
+    blob = encode_program(program)
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def load_trace(path: str | Path) -> Program:
+    """Read a program previously written by :func:`save_trace`."""
+    return decode_program(Path(path).read_bytes())
+
+
+def export_workload(benchmark: str, coding: str, path: str | Path,
+                    seed: int = 0) -> int:
+    """Build one workload coding and save its trace to ``path``."""
+    workload = get_benchmark(benchmark).build(coding, seed=seed)
+    return save_trace(workload.program, path)

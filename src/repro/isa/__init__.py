@@ -1,0 +1,39 @@
+"""Instruction set architecture: MOM 2D vectors plus the 3D extension.
+
+Public surface:
+
+* :class:`~repro.isa.datatypes.ElemType` — packed sub-word types.
+* register constructors :func:`r`, :func:`v`, :func:`acc`, :func:`d3`.
+* :class:`~repro.isa.opcodes.Opcode` / :class:`ExecClass`.
+* :class:`~repro.isa.instructions.Instruction` / :class:`Program`.
+* :class:`~repro.isa.builder.ProgramBuilder` — the trace assembler.
+* :mod:`~repro.isa.encoding` — binary trace (de)serialization.
+"""
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.datatypes import WORD_BITS, WORD_BYTES, ElemType
+from repro.isa.instructions import Instruction, Program
+from repro.isa.opcodes import ExecClass, Opcode
+from repro.isa.registers import (
+    ACC_BITS,
+    D3_ELEM_BYTES,
+    D3_ELEMS,
+    D3_POINTER_BITS,
+    MOM_ELEM_BYTES,
+    MOM_ELEMS,
+    VL,
+    VS,
+    RegClass,
+    Register,
+    acc,
+    d3,
+    r,
+    v,
+)
+
+__all__ = [
+    "ACC_BITS", "D3_ELEMS", "D3_ELEM_BYTES", "D3_POINTER_BITS",
+    "ElemType", "ExecClass", "Instruction", "MOM_ELEMS", "MOM_ELEM_BYTES",
+    "Opcode", "Program", "ProgramBuilder", "RegClass", "Register",
+    "VL", "VS", "WORD_BITS", "WORD_BYTES", "acc", "d3", "r", "v",
+]

@@ -1,0 +1,29 @@
+"""Memory system: caches, hierarchy, and the vector-port designs.
+
+The three realistic port designs the paper compares (multi-banked,
+vector cache, vector cache + 3D register file) plus the idealistic
+baseline all share the :class:`~repro.memsys.ports.VectorPort`
+interface, so the timing model is agnostic to which one is plugged in.
+"""
+
+from repro.memsys.cache import CacheStats, SetAssocCache
+from repro.memsys.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.memsys.ideal import IdealPort
+from repro.memsys.l1port import L1Port
+from repro.memsys.mainmem import MainMemory
+from repro.memsys.multibank import MultiBankedPort
+from repro.memsys.ports import (
+    MemRequest,
+    PortSchedule,
+    PortStats,
+    VectorPort,
+    request_for,
+)
+from repro.memsys.vectorcache import VectorCachePort
+
+__all__ = [
+    "CacheHierarchy", "CacheStats", "HierarchyConfig", "IdealPort",
+    "L1Port", "MainMemory", "MemRequest", "MultiBankedPort",
+    "PortSchedule", "PortStats", "SetAssocCache", "VectorCachePort",
+    "VectorPort", "request_for",
+]

@@ -1,0 +1,64 @@
+"""The L1 scalar/MMX memory path.
+
+Scalar loads and stores (all configurations) and the MMX-style
+configuration's media accesses go through the L1 data cache, which has
+``n_ports`` single-word ports (4 in the MMX configuration, 2 in the MOM
+configurations — paper Table 2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.memsys.hierarchy import CacheHierarchy
+from repro.memsys.ports import MemRequest, PortSchedule, PortStats
+
+
+class L1Port:
+    """Multi-ported single-word path through the L1 data cache."""
+
+    name = "l1"
+
+    def __init__(self, hierarchy: CacheHierarchy, n_ports: int = 4):
+        self.hierarchy = hierarchy
+        self.n_ports = n_ports
+        self.stats = PortStats()
+        self._usage: dict[int, int] = defaultdict(int)
+        self._scan = 0
+
+    def _claim_slot(self, earliest: int) -> int:
+        cycle = max(earliest, self._scan)
+        while self._usage[cycle] >= self.n_ports:
+            cycle += 1
+        self._usage[cycle] += 1
+        # keep the dict from growing without bound
+        if cycle > self._scan + 4096:
+            self._scan = cycle - 2048
+        return cycle
+
+    def schedule(self, request: MemRequest, earliest: int) -> PortSchedule:
+        """Schedule every reference of the request, one slot each."""
+        hits = misses = 0
+        complete = earliest
+        start = None
+        busy = 0
+        for addr, _nbytes in request.refs:
+            slot = self._claim_slot(earliest)
+            start = slot if start is None else start
+            busy += 1
+            l1_hit_before = self.hierarchy.l1.probe(addr)
+            latency = self.hierarchy.scalar_access(addr, request.is_write)
+            if l1_hit_before:
+                hits += 1
+            else:
+                misses += 1
+            complete = max(complete, slot + latency)
+        if request.is_write:
+            complete = (start or earliest) + 1
+        sched = PortSchedule(
+            start=start if start is not None else earliest,
+            complete=complete, busy_cycles=busy, port_accesses=busy,
+            cache_accesses=busy, hits=hits, misses=misses,
+            words=request.useful_words)
+        self.stats.add(sched, request.is_write)
+        return sched

@@ -1,0 +1,79 @@
+"""The multi-banked cache port (paper Fig. 2a / Fig. 8a).
+
+``n_ports`` memory ports connect to ``n_banks`` cache banks through a
+crossbar.  Each port moves one 64-bit word per cycle; words are
+interleaved across banks at word granularity.  Up to ``n_ports``
+references issue per cycle provided no two hit the same bank — bank
+conflicts serialize, which is what limits this expensive design's
+scalability.
+
+Accounting note: one *port access* (Fig. 6) is a cycle's worth of
+concurrent bank references; *cache activity* (Table 4) counts every
+bank reference individually, because each reference powers up a bank.
+"""
+
+from __future__ import annotations
+
+from repro.memsys.hierarchy import CacheHierarchy
+from repro.memsys.ports import WORD, MemRequest, PortSchedule, VectorPort
+
+
+class MultiBankedPort(VectorPort):
+    """Crossbar-connected banked L2 port."""
+
+    name = "multi-banked"
+
+    def __init__(self, hierarchy: CacheHierarchy, n_ports: int = 4,
+                 n_banks: int = 8):
+        super().__init__(hierarchy)
+        self.n_ports = n_ports
+        self.n_banks = n_banks
+
+    def _bank(self, addr: int) -> int:
+        return (addr // WORD) % self.n_banks
+
+    def _word_refs(self, request: MemRequest) -> list[int]:
+        """Decompose the request into word-granularity references."""
+        words: list[int] = []
+        for addr, nbytes in request.refs:
+            first = addr - addr % WORD
+            last = addr + nbytes - 1
+            words.extend(range(first, last + 1, WORD))
+        return words
+
+    def _schedule(self, request: MemRequest, start: int) -> PortSchedule:
+        word_refs = self._word_refs(request)
+        # Greedy cycle packing: up to n_ports refs per cycle, all banks
+        # distinct within a cycle.
+        cycles: list[list[int]] = []
+        current: list[int] = []
+        banks_used: set[int] = set()
+        for addr in word_refs:
+            bank = self._bank(addr)
+            if len(current) >= self.n_ports or bank in banks_used:
+                cycles.append(current)
+                current, banks_used = [], set()
+            current.append(addr)
+            banks_used.add(bank)
+        if current:
+            cycles.append(current)
+
+        l2_latency = self.hierarchy.config.l2_latency
+        hits = misses = 0
+        complete = start
+        for k, group in enumerate(cycles):
+            access_start = start + k
+            worst_extra = 0
+            for addr in group:
+                group_hits, group_misses, extra = self._touch_lines(
+                    addr, WORD, request.is_write)
+                hits += group_hits
+                misses += group_misses
+                worst_extra = max(worst_extra, extra)
+            complete = max(complete, access_start + l2_latency + worst_extra)
+        if request.is_write:
+            complete = start + len(cycles)
+        return PortSchedule(
+            start=start, complete=complete, busy_cycles=len(cycles),
+            port_accesses=len(cycles), cache_accesses=len(word_refs),
+            hits=hits, misses=misses, words=request.useful_words)

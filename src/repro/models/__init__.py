@@ -1,0 +1,27 @@
+"""Analytic models: register-file area (Table 3) and power (Fig. 11)."""
+
+from repro.models.area import (
+    ACC_RF,
+    CACHE_BUS_TRACKS,
+    D3_PTR_RF,
+    D3_RF,
+    MMX_RF,
+    MOM_RF,
+    RegFileSpec,
+    config_area,
+    normalized_areas,
+    rf_area_tracks,
+)
+from repro.models.power import (
+    AccessEnergy,
+    PowerBreakdown,
+    access_energies,
+    run_power,
+)
+
+__all__ = [
+    "ACC_RF", "AccessEnergy", "CACHE_BUS_TRACKS", "D3_PTR_RF", "D3_RF",
+    "MMX_RF", "MOM_RF", "PowerBreakdown", "RegFileSpec",
+    "access_energies", "config_area", "normalized_areas", "rf_area_tracks",
+    "run_power",
+]

@@ -1,0 +1,96 @@
+"""Register-file area model (Rixner et al. [20]), reproducing Table 3.
+
+The model estimates register-file area in *square wire tracks*: each
+bit cell is ``(p + 4)`` tracks wide by ``(p + 3)`` tracks tall, where
+``p`` is the total port count (each port adds one wordline and one
+bitline track; the constants cover the transistor stack, power rails
+and a differential track).  Total area is bits x cell area.
+
+Every row of the paper's Table 3 is reproduced exactly by this
+formula:
+
+* MMX RF: 80 regs x 64 b, 12R/8W -> 5120 x 24 x 23 = 2,826,240
+* MOM RF: 36 regs x 16x64 b, 3R/2W per lane -> 36864 x 9 x 8 = 2,654,208
+* Accumulators: 4 x 192 b, 1R/1W -> 768 x 6 x 5 = 23,040
+* 3D RF: 4 x 16x16x64 b, 1R/1W per lane -> 65536 x 6 x 5 = 1,966,080
+* 3D pointers: 8 x 7 b, 2R/2W -> 56 x 8 x 7 = 3,136
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Cache-bus wiring charged to configurations whose SIMD register file
+#: connects directly to the cache buses (Table 3: 64 bits x 4 buses
+#: routed over the register file datapath).
+CACHE_BUS_TRACKS = 262_144
+
+
+def rf_area_tracks(total_bits: int, read_ports: int,
+                   write_ports: int) -> int:
+    """Area of a register file in square wire tracks."""
+    ports = read_ports + write_ports
+    return total_bits * (ports + 4) * (ports + 3)
+
+
+@dataclass(frozen=True)
+class RegFileSpec:
+    """One register file row of Table 3."""
+
+    name: str
+    register_bits: int
+    physical_registers: int
+    read_ports: int
+    write_ports: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.register_bits * self.physical_registers
+
+    @property
+    def area_tracks(self) -> int:
+        return rf_area_tracks(self.total_bits, self.read_ports,
+                              self.write_ports)
+
+
+#: The paper's register file inventory (Table 3).  Ports are per lane
+#: where the file is lane-distributed; the bits are total, so the area
+#: formula applies uniformly.
+MMX_RF = RegFileSpec("mmx-rf", 64, 80, 12, 8)
+MOM_RF = RegFileSpec("mom-rf", 16 * 64, 36, 3, 2)
+ACC_RF = RegFileSpec("accumulator-rf", 192, 4, 1, 1)
+D3_RF = RegFileSpec("3d-rf", 16 * 16 * 64, 4, 1, 1)
+D3_PTR_RF = RegFileSpec("3d-pointer-rf", 7, 8, 2, 2)
+
+
+def config_area(config: str) -> dict[str, int]:
+    """Per-file and total area (square wire tracks) for a configuration.
+
+    ``config`` is one of ``mmx``, ``mom``, ``mom3d``.  The MMX and MOM
+    configurations route the cache buses over the register file; in the
+    3D configuration the 3D register file takes over that datapath
+    (Table 3 marks cache buses "n/a").
+    """
+    if config == "mmx":
+        files = {"mmx-rf": MMX_RF.area_tracks,
+                 "cache-buses": CACHE_BUS_TRACKS}
+    elif config == "mom":
+        files = {"mom-rf": MOM_RF.area_tracks,
+                 "accumulator-rf": ACC_RF.area_tracks,
+                 "cache-buses": CACHE_BUS_TRACKS}
+    elif config == "mom3d":
+        files = {"mom-rf": MOM_RF.area_tracks,
+                 "accumulator-rf": ACC_RF.area_tracks,
+                 "3d-rf": D3_RF.area_tracks,
+                 "3d-pointer-rf": D3_PTR_RF.area_tracks}
+    else:
+        raise ValueError(f"unknown configuration {config!r}")
+    files["total"] = sum(files.values())
+    return files
+
+
+def normalized_areas() -> dict[str, float]:
+    """Overall area of each configuration relative to MMX (Table 3)."""
+    mmx = config_area("mmx")["total"]
+    return {name: config_area(name)["total"] / mmx
+            for name in ("mmx", "mom", "mom3d")}

@@ -1,0 +1,102 @@
+"""Energy/power model for the L2 cache and 3D register file (Fig. 11).
+
+Follows the structure of the Rixner et al. SRAM models the paper uses:
+one access to an array costs
+
+    E = kappa * sqrt(array_bits) * (alpha + bits_out)
+
+where ``sqrt(array_bits)`` tracks the wordline/bitline lengths of the
+activated sub-array, ``alpha`` covers decode/precharge overhead (large
+for a cache sub-array, small for a register file) and ``bits_out`` is
+the access width.  ``kappa`` is the single technology calibration
+constant, fitted once so the multi-banked configuration lands in the
+paper's 8-18 W band at 0.18 um / 1 GHz (the paper notes its own model
+omits hierarchical/differential-bitline optimizations, i.e. runs hot).
+All *relative* results — the ~30% L2 saving, the negligible 3D RF
+contribution — come out of the simulated access counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.timing.stats import RunStats
+
+#: technology calibration constant (joules per track-bit), fitted once.
+KAPPA = 3.3e-14
+#: decode/precharge overhead term for a cache sub-array, in bit-equivalents.
+ALPHA_CACHE = 512
+#: decode overhead for the small lane-distributed 3D register file.
+ALPHA_RF = 32
+#: clock period in seconds (1 GHz, as in the paper's estimate).
+CLOCK_PERIOD = 1e-9
+#: L2 capacity in bits and its physical partitioning (paper: 2 MB over
+#: 32 sub-arrays; one sub-array is activated per access).
+L2_BITS = 2 * 1024 * 1024 * 8
+L2_SUBARRAYS = 32
+#: 3D register file capacity: 4 physical registers x 16 x 128 bytes.
+RF3D_BITS = 4 * 16 * 128 * 8
+#: static/leakage + clocking floor of the L2 array, in watts.
+L2_STATIC_W = 1.6
+
+
+def access_energy(array_bits: int, bits_out: int,
+                  alpha: int = ALPHA_CACHE) -> float:
+    """Energy (joules) of one access to an SRAM array."""
+    return KAPPA * math.sqrt(array_bits) * (alpha + bits_out)
+
+
+@dataclass(frozen=True)
+class AccessEnergy:
+    """Energy per access for the three array types involved."""
+
+    #: multi-banked cache: one 64-bit bank reference
+    l2_bank: float
+    #: vector cache: one wide access (256-bit selection off the
+    #: two-line interchange latch)
+    l2_wide: float
+    #: 3D register file: one line write or slice read
+    rf3d: float
+
+
+def access_energies() -> AccessEnergy:
+    """Calibrated per-access energies (joules)."""
+    subarray = L2_BITS // L2_SUBARRAYS
+    return AccessEnergy(
+        l2_bank=access_energy(subarray, 64),
+        l2_wide=access_energy(subarray, 256),
+        rf3d=access_energy(RF3D_BITS, 128, alpha=ALPHA_RF),
+    )
+
+
+@dataclass
+class PowerBreakdown:
+    """Average power in watts over one run."""
+
+    l2_watts: float
+    rf3d_watts: float
+
+    @property
+    def total(self) -> float:
+        return self.l2_watts + self.rf3d_watts
+
+
+def run_power(stats: RunStats, memsys_kind: str) -> PowerBreakdown:
+    """Average L2 + 3D RF power for a finished timing run.
+
+    ``memsys_kind`` selects the per-access energy: ``multibank``
+    configurations pay one bank access per reference, ``vector``
+    configurations one wide access per (grouped) port access.
+    """
+    if stats.cycles == 0:
+        return PowerBreakdown(0.0, 0.0)
+    energies = access_energies()
+    per_access = (energies.l2_bank if memsys_kind == "multibank"
+                  else energies.l2_wide)
+    l2_joules = stats.l2_activity * per_access
+    rf3d_joules = (stats.rf3d_reads + stats.rf3d_writes) * energies.rf3d
+    seconds = stats.cycles * CLOCK_PERIOD
+    return PowerBreakdown(
+        l2_watts=L2_STATIC_W + l2_joules / seconds,
+        rf3d_watts=rf3d_joules / seconds)

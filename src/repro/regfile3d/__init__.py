@@ -1,0 +1,5 @@
+"""Structural model of the 3D vector register file (paper Sec. 4/5.3)."""
+
+from repro.regfile3d.model import RegFile3D, RegFile3DGeometry
+
+__all__ = ["RegFile3D", "RegFile3DGeometry"]

@@ -1,0 +1,89 @@
+"""Geometry and activity model of the 3D vector register file.
+
+The paper's 3D RF is a lane-distributed SRAM structure: 4 physical
+registers of 16 elements x 128 bytes, spread over the same 4 lanes as
+the MOM register file, with one read and one write port per lane.  Per
+cycle it absorbs one whole L2-line-sized chunk (write side) and serves
+four 64-bit slices (read side), with byte-aligned slice extraction via
+shift & mask.
+
+This module carries the *structural* description used by the area and
+power models and by the ablation benchmarks (element width / register
+count sweeps); the cycle-accurate behaviour lives in the timing model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RegFile3DGeometry:
+    """Shape and porting of a 3D vector register file."""
+
+    logical_registers: int = 2
+    physical_registers: int = 4
+    elements: int = 16
+    element_bytes: int = 128
+    lanes: int = 4
+    read_ports_per_lane: int = 1
+    write_ports_per_lane: int = 1
+    pointer_bits: int = 7
+    physical_pointer_registers: int = 8
+
+    def __post_init__(self) -> None:
+        if self.physical_registers < self.logical_registers:
+            raise ConfigError("physical registers < logical registers")
+        if self.elements % self.lanes != 0:
+            raise ConfigError("elements must divide evenly across lanes")
+        if self.element_bytes % 8 != 0:
+            raise ConfigError("element width must be whole 64-bit words")
+
+    @property
+    def register_bits(self) -> int:
+        """Bits in one 3D register."""
+        return self.elements * self.element_bytes * 8
+
+    @property
+    def total_bits(self) -> int:
+        """Bits across all physical registers (area model input)."""
+        return self.physical_registers * self.register_bits
+
+    @property
+    def element_words(self) -> int:
+        """64-bit words per element (max ``W`` of a ``dvload3``)."""
+        return self.element_bytes // 8
+
+    @property
+    def slice_bandwidth_words(self) -> int:
+        """64-bit words the read side can deliver per cycle."""
+        return self.lanes * self.read_ports_per_lane
+
+    def move_occupancy(self, vl: int) -> int:
+        """Cycles one ``dvmov3`` of length ``vl`` holds the read port."""
+        return math.ceil(vl / self.lanes)
+
+
+class RegFile3D:
+    """Activity accounting for one run (feeds the power model)."""
+
+    def __init__(self, geometry: RegFile3DGeometry | None = None):
+        self.geometry = geometry if geometry is not None \
+            else RegFile3DGeometry()
+        self.line_writes = 0
+        self.slice_reads = 0
+
+    def record_load(self, line_chunks: int) -> None:
+        """A ``dvload3`` wrote this many line-sized chunks."""
+        self.line_writes += line_chunks
+
+    def record_move(self, count: int = 1) -> None:
+        """``dvmov3`` slice extractions."""
+        self.slice_reads += count
+
+    @property
+    def accesses(self) -> int:
+        return self.line_writes + self.slice_reads

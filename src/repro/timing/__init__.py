@@ -1,0 +1,23 @@
+"""Out-of-order timing model and the paper's processor configurations."""
+
+from repro.timing.config import (
+    MEMSYSTEMS,
+    MemSysConfig,
+    PROCESSORS,
+    ProcessorConfig,
+    ideal_memsys,
+    mmx_processor,
+    mom3d_processor,
+    mom_processor,
+    multibank_memsys,
+    vector_memsys,
+)
+from repro.timing.pipeline import Pipeline, simulate
+from repro.timing.stats import RunStats, VecLenStats
+
+__all__ = [
+    "MEMSYSTEMS", "MemSysConfig", "PROCESSORS", "Pipeline",
+    "ProcessorConfig", "RunStats", "VecLenStats", "ideal_memsys",
+    "mmx_processor", "mom3d_processor", "mom_processor",
+    "multibank_memsys", "simulate", "vector_memsys",
+]

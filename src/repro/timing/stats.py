@@ -1,0 +1,114 @@
+"""Run statistics collected by the timing pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import ExecClass, Opcode
+from repro.memsys.ports import PortStats
+
+
+@dataclass
+class VecLenStats:
+    """Per-dimension vector-length accounting (paper Table 1).
+
+    * 1st dimension: uSIMD lanes per 64-bit word of vector memory
+      instructions (8 for u8 data, 4 for i16 data).
+    * 2nd dimension: the MOM vector length (elements per instruction).
+    * 3rd dimension: slices served per 3D load, i.e. how many
+      ``dvmov3`` transfers each ``dvload3`` feeds.
+    """
+
+    lane_sum: int = 0
+    lane_count: int = 0
+    vl_sum: int = 0
+    vl_count: int = 0
+    slices: int = 0
+    loads3d: int = 0
+    max_slices_per_load: int = 0
+    _current_slices: dict[int, int] = field(default_factory=dict)
+
+    def record_vector_memory(self, lanes: int, vl: int) -> None:
+        self.lane_sum += lanes
+        self.lane_count += 1
+        self.vl_sum += vl
+        self.vl_count += 1
+
+    def record_dvload3(self, reg_index: int, lanes: int, vl: int) -> None:
+        self.record_vector_memory(lanes, vl)
+        self.loads3d += 1
+        self._flush(reg_index)
+
+    def record_dvmov3(self, reg_index: int) -> None:
+        self.slices += 1
+        self._current_slices[reg_index] = (
+            self._current_slices.get(reg_index, 0) + 1)
+        self.max_slices_per_load = max(
+            self.max_slices_per_load, self._current_slices[reg_index])
+
+    def _flush(self, reg_index: int) -> None:
+        self._current_slices[reg_index] = 0
+
+    @property
+    def dim1(self) -> float:
+        """Average uSIMD lanes per word (1st dimension)."""
+        return self.lane_sum / self.lane_count if self.lane_count else 0.0
+
+    @property
+    def dim2(self) -> float:
+        """Average vector length (2nd dimension)."""
+        return self.vl_sum / self.vl_count if self.vl_count else 0.0
+
+    @property
+    def dim3(self) -> float:
+        """Average slices per 3D load (3rd dimension)."""
+        return self.slices / self.loads3d if self.loads3d else 0.0
+
+
+@dataclass
+class RunStats:
+    """Everything a timing run reports."""
+
+    name: str = ""
+    cycles: int = 0
+    instructions: int = 0
+    by_class: dict[ExecClass, int] = field(default_factory=dict)
+    by_opcode: dict[Opcode, int] = field(default_factory=dict)
+    #: the vector (L2) port
+    vector_port: PortStats = field(default_factory=PortStats)
+    #: the scalar / MMX L1 path
+    l1_port: PortStats = field(default_factory=PortStats)
+    #: 64-bit words served out of the 3D register file by dvmov3
+    rf3d_words: int = 0
+    #: dvmov3 transfer count (3D RF read-port activity)
+    rf3d_reads: int = 0
+    #: dvload3 line writes into the 3D RF (write-port activity)
+    rf3d_writes: int = 0
+    veclen: VecLenStats = field(default_factory=VecLenStats)
+    l2_hit_rate: float = 1.0
+    coherence_events: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Words per vector-port access (Fig. 6 metric)."""
+        return self.vector_port.effective_bandwidth
+
+    @property
+    def cache_words(self) -> int:
+        """64-bit words moved between the L2 and the core (Fig. 7)."""
+        return self.vector_port.words
+
+    @property
+    def l2_activity(self) -> int:
+        """L2 access count (Table 4 metric)."""
+        return self.vector_port.cache_accesses
+
+    def summary(self) -> str:
+        return (f"{self.name}: {self.cycles} cycles, "
+                f"{self.instructions} insts (IPC {self.ipc:.2f}), "
+                f"eff-bw {self.effective_bandwidth:.2f} w/acc, "
+                f"L2 activity {self.l2_activity}")

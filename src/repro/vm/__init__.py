@@ -1,0 +1,10 @@
+"""Functional simulator: flat memory, machine state, exact uSIMD semantics."""
+
+from repro.vm.executor import ExecStats, Executor, execute
+from repro.vm.memory import Arena, FlatMemory
+from repro.vm.state import MachineState
+
+__all__ = [
+    "Arena", "ExecStats", "Executor", "FlatMemory", "MachineState",
+    "execute",
+]

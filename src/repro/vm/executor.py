@@ -1,0 +1,255 @@
+"""Functional execution of instruction traces.
+
+The executor gives every instruction its exact architectural semantics
+so workload codings can be validated bit-for-bit against numpy
+references.  It is deliberately independent of the timing model: the
+same :class:`~repro.isa.instructions.Program` is first executed here
+(correctness) and then replayed through :mod:`repro.timing` (cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.isa.instructions import Instruction, Program
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import D3_ELEM_BYTES
+from repro.vm.memory import FlatMemory
+from repro.vm.state import MachineState
+from repro.vm.usimd_ops import OP_FUNCS, madd_reduce, sad_reduce
+
+
+@dataclass
+class ExecStats:
+    """Dynamic instruction counts gathered during functional execution."""
+
+    instructions: int = 0
+    by_opcode: dict[Opcode, int] = field(default_factory=dict)
+
+    def record(self, op: Opcode) -> None:
+        self.instructions += 1
+        self.by_opcode[op] = self.by_opcode.get(op, 0) + 1
+
+
+class Executor:
+    """Executes a program against a flat memory and machine state."""
+
+    def __init__(self, memory: FlatMemory,
+                 state: MachineState | None = None):
+        self.memory = memory
+        self.state = state if state is not None else MachineState()
+        self.stats = ExecStats()
+
+    def run(self, program: Program) -> MachineState:
+        """Execute every instruction of ``program`` in order."""
+        for inst in program:
+            self.step(inst)
+        return self.state
+
+    def step(self, inst: Instruction) -> None:
+        """Execute a single instruction."""
+        handler = _HANDLERS.get(inst.op)
+        if handler is None:
+            if inst.op in OP_FUNCS:
+                handler = _exec_usimd
+            else:
+                raise ExecutionError(f"no semantics for {inst.op.value}")
+        handler(self, inst)
+        self.stats.record(inst.op)
+
+
+# --- scalar handlers ---------------------------------------------------------
+
+
+def _exec_li(ex: Executor, inst: Instruction) -> None:
+    ex.state.write_scalar(inst.dsts[0], inst.imm)
+
+
+def _exec_mov(ex: Executor, inst: Instruction) -> None:
+    ex.state.write_scalar(inst.dsts[0], ex.state.read_scalar(inst.srcs[0]))
+
+
+def _exec_add(ex: Executor, inst: Instruction) -> None:
+    value = (ex.state.read_scalar(inst.srcs[0])
+             + ex.state.read_scalar(inst.srcs[1]))
+    ex.state.write_scalar(inst.dsts[0], value)
+
+
+def _exec_addi(ex: Executor, inst: Instruction) -> None:
+    ex.state.write_scalar(
+        inst.dsts[0], ex.state.read_scalar(inst.srcs[0]) + inst.imm)
+
+
+def _exec_sub(ex: Executor, inst: Instruction) -> None:
+    value = (ex.state.read_scalar(inst.srcs[0])
+             - ex.state.read_scalar(inst.srcs[1]))
+    ex.state.write_scalar(inst.dsts[0], value)
+
+
+def _exec_mul(ex: Executor, inst: Instruction) -> None:
+    value = (ex.state.read_scalar(inst.srcs[0])
+             * ex.state.read_scalar(inst.srcs[1]))
+    ex.state.write_scalar(inst.dsts[0], value)
+
+
+def _exec_slt(ex: Executor, inst: Instruction) -> None:
+    flag = int(ex.state.read_scalar(inst.srcs[0])
+               < ex.state.read_scalar(inst.srcs[1]))
+    ex.state.write_scalar(inst.dsts[0], flag)
+
+
+def _exec_cmov(ex: Executor, inst: Instruction) -> None:
+    cond, src, _old = inst.srcs
+    if ex.state.read_scalar(cond) != 0:
+        ex.state.write_scalar(inst.dsts[0], ex.state.read_scalar(src))
+
+
+def _exec_nop(ex: Executor, inst: Instruction) -> None:
+    pass
+
+
+# --- control -------------------------------------------------------------------
+
+
+def _exec_setvl(ex: Executor, inst: Instruction) -> None:
+    ex.state.vl = inst.imm
+
+
+def _exec_clracc(ex: Executor, inst: Instruction) -> None:
+    ex.state.write_acc(inst.dsts[0], 0)
+
+
+def _exec_movacc(ex: Executor, inst: Instruction) -> None:
+    ex.state.write_scalar(
+        inst.dsts[0], ex.state.read_acc(inst.srcs[0]) & 0xFFFF_FFFF_FFFF_FFFF)
+
+
+def _exec_movd(ex: Executor, inst: Instruction) -> None:
+    # MMX movd semantics: the low 32 bits of element 0, sign-extended.
+    low = int(ex.state.vector[inst.srcs[0].index, 0]) & 0xFFFF_FFFF
+    if low >= 1 << 31:
+        low -= 1 << 32
+    ex.state.write_scalar(inst.dsts[0], low)
+
+
+# --- scalar memory ---------------------------------------------------------------
+
+
+def _exec_ld(ex: Executor, inst: Instruction) -> None:
+    ex.state.write_scalar(inst.dsts[0], ex.memory.read_u64(inst.ea))
+
+
+def _exec_st(ex: Executor, inst: Instruction) -> None:
+    ex.memory.write_u64(
+        inst.ea, ex.state.read_scalar(inst.srcs[0]) & 0xFFFF_FFFF_FFFF_FFFF)
+
+
+# --- uSIMD -----------------------------------------------------------------------
+
+
+def _exec_usimd(ex: Executor, inst: Instruction) -> None:
+    func = OP_FUNCS[inst.op]
+    a = ex.state.read_vector(inst.srcs[0], inst.vl)
+    b = (ex.state.read_vector(inst.srcs[1], inst.vl)
+         if len(inst.srcs) > 1 else None)
+    result = func(a, b, imm=inst.imm) if inst.imm is not None \
+        else func(a, b)
+    ex.state.write_vector(inst.dsts[0], result, inst.vl)
+
+
+def _exec_vbcast64(ex: Executor, inst: Instruction) -> None:
+    # traces may deserialize the pattern as a signed value
+    pattern = inst.imm & 0xFFFF_FFFF_FFFF_FFFF
+    words = np.full(inst.vl, pattern, dtype=np.uint64)
+    ex.state.write_vector(inst.dsts[0], words, inst.vl)
+
+
+def _exec_vpsadacc(ex: Executor, inst: Instruction) -> None:
+    a = ex.state.read_vector(inst.srcs[0], inst.vl)
+    b = ex.state.read_vector(inst.srcs[1], inst.vl)
+    acc_reg = inst.dsts[0]
+    ex.state.write_acc(acc_reg, ex.state.read_acc(acc_reg)
+                       + sad_reduce(a, b))
+
+
+def _exec_vpmaddacc(ex: Executor, inst: Instruction) -> None:
+    a = ex.state.read_vector(inst.srcs[0], inst.vl)
+    b = ex.state.read_vector(inst.srcs[1], inst.vl)
+    acc_reg = inst.dsts[0]
+    ex.state.write_acc(acc_reg, ex.state.read_acc(acc_reg)
+                       + madd_reduce(a, b))
+
+
+# --- vector memory ---------------------------------------------------------------
+
+
+def _exec_vld(ex: Executor, inst: Instruction) -> None:
+    words = np.empty(inst.vl, dtype=np.uint64)
+    for k in range(inst.vl):
+        words[k] = ex.memory.read_u64(inst.ea + k * inst.stride)
+    ex.state.write_vector(inst.dsts[0], words, inst.vl)
+
+
+def _exec_vst(ex: Executor, inst: Instruction) -> None:
+    words = ex.state.read_vector(inst.srcs[0], inst.vl)
+    for k in range(inst.vl):
+        ex.memory.write_u64(inst.ea + k * inst.stride, int(words[k]))
+
+
+# --- 3D extension -----------------------------------------------------------------
+
+
+def _exec_dvload3(ex: Executor, inst: Instruction) -> None:
+    width = inst.wwords * 8
+    if width > D3_ELEM_BYTES:
+        raise ExecutionError("dvload3: element wider than 128 bytes")
+    dst = inst.dsts[0]
+    for k in range(inst.vl):
+        row = ex.state.d3_row(dst, k)
+        row[:width] = ex.memory.read(inst.ea + k * inst.stride, width)
+    ex.state.d3_width[dst.index] = width
+    ex.state.d3_pointer[dst.index] = (width - 8) if inst.back else 0
+
+
+def _exec_dvmov3(ex: Executor, inst: Instruction) -> None:
+    src = inst.srcs[0]
+    words = ex.state.d3_slice(src, inst.vl)
+    ex.state.write_vector(inst.dsts[0], words, inst.vl)
+    ex.state.d3_pointer[src.index] += inst.pstride
+
+
+_HANDLERS = {
+    Opcode.LI: _exec_li,
+    Opcode.MOV: _exec_mov,
+    Opcode.ADD: _exec_add,
+    Opcode.ADDI: _exec_addi,
+    Opcode.SUB: _exec_sub,
+    Opcode.MUL: _exec_mul,
+    Opcode.SLT: _exec_slt,
+    Opcode.CMOV: _exec_cmov,
+    Opcode.NOP: _exec_nop,
+    Opcode.BRANCH: _exec_nop,
+    Opcode.SETVL: _exec_setvl,
+    Opcode.CLRACC: _exec_clracc,
+    Opcode.MOVACC: _exec_movacc,
+    Opcode.MOVD: _exec_movd,
+    Opcode.LD: _exec_ld,
+    Opcode.ST: _exec_st,
+    Opcode.VLD: _exec_vld,
+    Opcode.VST: _exec_vst,
+    Opcode.DVLOAD3: _exec_dvload3,
+    Opcode.DVMOV3: _exec_dvmov3,
+    Opcode.VBCAST64: _exec_vbcast64,
+    Opcode.VPSADACC: _exec_vpsadacc,
+    Opcode.VPMADDACC: _exec_vpmaddacc,
+}
+
+
+def execute(program: Program, memory: FlatMemory,
+            state: MachineState | None = None) -> MachineState:
+    """Convenience wrapper: run ``program`` and return the final state."""
+    executor = Executor(memory, state)
+    return executor.run(program)

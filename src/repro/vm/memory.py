@@ -1,0 +1,96 @@
+"""Flat byte-addressed memory and a bump allocator for workload layout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryError_
+
+
+class FlatMemory:
+    """A flat little-endian byte-addressable memory.
+
+    Backing store is a numpy ``uint8`` buffer; all vector-register
+    transfers are expressed as slices of this buffer.
+    """
+
+    def __init__(self, size: int = 1 << 22):
+        if size <= 0:
+            raise MemoryError_("memory size must be positive")
+        self.size = size
+        self.data = np.zeros(size, dtype=np.uint8)
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or addr + nbytes > self.size:
+            raise MemoryError_(
+                f"access [{addr:#x}, {addr + nbytes:#x}) outside memory "
+                f"of size {self.size:#x}"
+            )
+
+    def read(self, addr: int, nbytes: int) -> np.ndarray:
+        """Read ``nbytes`` bytes; returns a view (do not mutate)."""
+        self._check(addr, nbytes)
+        return self.data[addr:addr + nbytes]
+
+    def write(self, addr: int, values: np.ndarray | bytes) -> None:
+        """Write a byte sequence at ``addr``."""
+        buf = np.frombuffer(values, dtype=np.uint8) if isinstance(
+            values, (bytes, bytearray)) else np.asarray(values, dtype=np.uint8)
+        self._check(addr, buf.size)
+        self.data[addr:addr + buf.size] = buf
+
+    def read_u64(self, addr: int) -> int:
+        """Read one little-endian 64-bit word."""
+        self._check(addr, 8)
+        return int(self.data[addr:addr + 8].view(np.uint64)[0]) \
+            if addr % 8 == 0 else int.from_bytes(
+                self.data[addr:addr + 8].tobytes(), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Write one little-endian 64-bit word."""
+        self._check(addr, 8)
+        self.data[addr:addr + 8] = np.frombuffer(
+            (value & 0xFFFF_FFFF_FFFF_FFFF).to_bytes(8, "little"),
+            dtype=np.uint8)
+
+    def load_array(self, addr: int, array: np.ndarray) -> None:
+        """Copy a numpy array's bytes into memory at ``addr``."""
+        raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
+        self._check(addr, raw.size)
+        self.data[addr:addr + raw.size] = raw
+
+    def read_array(self, addr: int, shape: tuple[int, ...],
+                   dtype: np.dtype) -> np.ndarray:
+        """Read a numpy array of ``shape``/``dtype`` starting at ``addr``."""
+        dtype = np.dtype(dtype)
+        count = int(np.prod(shape)) * dtype.itemsize
+        self._check(addr, count)
+        raw = self.data[addr:addr + count].tobytes()
+        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+class Arena:
+    """Bump allocator that hands out aligned regions of a FlatMemory.
+
+    Workload generators use it to lay frames, blocks and scratch buffers
+    out in memory the same way a C ``malloc`` would.
+    """
+
+    def __init__(self, memory: FlatMemory, base: int = 0x1000):
+        self.memory = memory
+        self._next = base
+
+    def alloc(self, nbytes: int, align: int = 16) -> int:
+        """Reserve ``nbytes`` bytes aligned to ``align``; returns address."""
+        addr = (self._next + align - 1) // align * align
+        if addr + nbytes > self.memory.size:
+            raise MemoryError_("arena exhausted")
+        self._next = addr + nbytes
+        return addr
+
+    def alloc_array(self, array: np.ndarray, align: int = 16) -> int:
+        """Allocate room for ``array``, copy it in, return its address."""
+        nbytes = array.size * array.dtype.itemsize
+        addr = self.alloc(nbytes, align)
+        self.memory.load_array(addr, array)
+        return addr

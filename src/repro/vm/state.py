@@ -1,0 +1,115 @@
+"""Architectural machine state for the functional simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.isa.registers import (
+    D3_ELEM_BYTES,
+    D3_ELEMS,
+    LOGICAL_COUNTS,
+    MOM_ELEMS,
+    RegClass,
+    Register,
+)
+
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+class MachineState:
+    """Registers of the MOM + 3D machine.
+
+    * ``scalar``: 32 integer registers (stored as Python ints, with
+      64-bit wraparound applied on write).
+    * ``vector``: 16 MOM registers x 16 elements x 64 bits.
+    * ``accum``: 2 wide accumulators (Python ints; architecturally
+      192 bits, wide enough that they never wrap in practice).
+    * ``d3``: 2 logical 3D registers x 16 elements x 128 bytes, each
+      with a pointer register and a valid width (in bytes) remembered
+      from the last ``dvload3``.
+    * ``vl``: the Vector Length control register.
+    """
+
+    def __init__(self) -> None:
+        self.scalar = [0] * LOGICAL_COUNTS[RegClass.SCALAR]
+        self.vector = np.zeros(
+            (LOGICAL_COUNTS[RegClass.VECTOR], MOM_ELEMS), dtype=np.uint64)
+        self.accum = [0] * LOGICAL_COUNTS[RegClass.ACC]
+        self.d3 = np.zeros(
+            (LOGICAL_COUNTS[RegClass.VEC3D], D3_ELEMS, D3_ELEM_BYTES),
+            dtype=np.uint8)
+        self.d3_pointer = [0] * LOGICAL_COUNTS[RegClass.VEC3D]
+        self.d3_width = [0] * LOGICAL_COUNTS[RegClass.VEC3D]
+        self.vl = 1
+
+    # -- scalar ---------------------------------------------------------------
+
+    def read_scalar(self, reg: Register) -> int:
+        self._expect(reg, RegClass.SCALAR)
+        return self.scalar[reg.index]
+
+    def write_scalar(self, reg: Register, value: int) -> None:
+        self._expect(reg, RegClass.SCALAR)
+        value &= _MASK64
+        if value >= 1 << 63:  # interpret as signed 64-bit
+            value -= 1 << 64
+        self.scalar[reg.index] = value
+
+    # -- vector ---------------------------------------------------------------
+
+    def read_vector(self, reg: Register, vl: int | None = None) -> np.ndarray:
+        """Return the first ``vl`` 64-bit elements of a MOM register."""
+        self._expect(reg, RegClass.VECTOR)
+        n = self.vl if vl is None else vl
+        return self.vector[reg.index, :n].copy()
+
+    def write_vector(self, reg: Register, words: np.ndarray,
+                     vl: int | None = None) -> None:
+        """Write the first ``vl`` elements of a MOM register."""
+        self._expect(reg, RegClass.VECTOR)
+        n = self.vl if vl is None else vl
+        words = np.asarray(words, dtype=np.uint64)
+        if words.size != n:
+            raise ExecutionError(
+                f"vector write: expected {n} words, got {words.size}")
+        self.vector[reg.index, :n] = words
+
+    # -- accumulators ------------------------------------------------------------
+
+    def read_acc(self, reg: Register) -> int:
+        self._expect(reg, RegClass.ACC)
+        return self.accum[reg.index]
+
+    def write_acc(self, reg: Register, value: int) -> None:
+        self._expect(reg, RegClass.ACC)
+        self.accum[reg.index] = value
+
+    # -- 3D registers ----------------------------------------------------------------
+
+    def d3_row(self, reg: Register, element: int) -> np.ndarray:
+        """Byte view of one element (row) of a 3D register."""
+        self._expect(reg, RegClass.VEC3D)
+        return self.d3[reg.index, element]
+
+    def d3_slice(self, reg: Register, vl: int) -> np.ndarray:
+        """Extract the current 64-bit pointer slice of ``vl`` elements.
+
+        This is the datapath of ``dvmov3``: for each element, the eight
+        bytes starting at the pointer offset are gathered into one MOM
+        word.  Byte-aligned (unaligned) pointers are allowed.
+        """
+        self._expect(reg, RegClass.VEC3D)
+        ptr = self.d3_pointer[reg.index]
+        width = self.d3_width[reg.index]
+        if not 0 <= ptr <= width - 8:
+            raise ExecutionError(
+                f"3D pointer {ptr} outside loaded width {width} of "
+                f"d{reg.index}")
+        raw = self.d3[reg.index, :vl, ptr:ptr + 8]
+        return np.ascontiguousarray(raw).view(np.uint64).reshape(-1)
+
+    def _expect(self, reg: Register, cls: RegClass) -> None:
+        if reg.cls is not cls:
+            raise ExecutionError(
+                f"expected {cls.value} register, got {reg!r}")

@@ -1,0 +1,239 @@
+"""Exact semantics of the packed (uSIMD) operations.
+
+Every function operates on arrays of 64-bit words (dtype ``uint64``,
+shape ``(vl,)``) so a MOM instruction applies its MMX-like operation to
+all vector elements at once.  Lane order is little-endian (lane 0 in the
+least significant bytes), matching MMX.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.isa.opcodes import Opcode
+
+_I16_MIN, _I16_MAX = -(1 << 15), (1 << 15) - 1
+_U8_MAX = 255
+
+
+def _as_u8(words: np.ndarray) -> np.ndarray:
+    return words.view(np.uint8).reshape(-1, 8)
+
+
+def _as_i16(words: np.ndarray) -> np.ndarray:
+    return words.view(np.int16).reshape(-1, 4)
+
+
+def _as_i32(words: np.ndarray) -> np.ndarray:
+    return words.view(np.int32).reshape(-1, 2)
+
+
+def _pack_u8(lanes: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(lanes.astype(np.uint8)).view(
+        np.uint64).reshape(-1)
+
+
+def _pack_i16(lanes: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(lanes.astype(np.int16)).view(
+        np.uint64).reshape(-1)
+
+
+def _pack_i32(lanes: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(lanes.astype(np.int32)).view(
+        np.uint64).reshape(-1)
+
+
+# --- wraparound adds/subs --------------------------------------------------
+
+def paddb(a, b, imm=None):
+    return _pack_u8(_as_u8(a).astype(np.int32) + _as_u8(b))
+
+
+def paddw(a, b, imm=None):
+    return _pack_i16(_as_i16(a).astype(np.int32) + _as_i16(b))
+
+
+def paddd(a, b, imm=None):
+    return _pack_i32(_as_i32(a).astype(np.int64) + _as_i32(b))
+
+
+def psubb(a, b, imm=None):
+    return _pack_u8(_as_u8(a).astype(np.int32) - _as_u8(b))
+
+
+def psubw(a, b, imm=None):
+    return _pack_i16(_as_i16(a).astype(np.int32) - _as_i16(b))
+
+
+# --- saturating adds/subs ---------------------------------------------------
+
+def paddsw(a, b, imm=None):
+    wide = _as_i16(a).astype(np.int32) + _as_i16(b)
+    return _pack_i16(np.clip(wide, _I16_MIN, _I16_MAX))
+
+
+def paddusb(a, b, imm=None):
+    wide = _as_u8(a).astype(np.int32) + _as_u8(b)
+    return _pack_u8(np.clip(wide, 0, _U8_MAX))
+
+
+def psubsw(a, b, imm=None):
+    wide = _as_i16(a).astype(np.int32) - _as_i16(b)
+    return _pack_i16(np.clip(wide, _I16_MIN, _I16_MAX))
+
+
+def psubusb(a, b, imm=None):
+    wide = _as_u8(a).astype(np.int32) - _as_u8(b)
+    return _pack_u8(np.clip(wide, 0, _U8_MAX))
+
+
+# --- u8 average & SAD --------------------------------------------------------
+
+def pavgb(a, b, imm=None):
+    wide = _as_u8(a).astype(np.int32) + _as_u8(b) + 1
+    return _pack_u8(wide >> 1)
+
+
+def psadbw(a, b, imm=None):
+    diff = np.abs(_as_u8(a).astype(np.int32) - _as_u8(b))
+    return diff.sum(axis=1).astype(np.uint64)
+
+
+# --- multiplies ---------------------------------------------------------------
+
+def pmullw(a, b, imm=None):
+    return _pack_i16(_as_i16(a).astype(np.int32) * _as_i16(b))
+
+
+def pmulhw(a, b, imm=None):
+    return _pack_i16((_as_i16(a).astype(np.int32) * _as_i16(b)) >> 16)
+
+
+def pmulhrs(a, b, imm=None):
+    wide = (_as_i16(a).astype(np.int32) * _as_i16(b) + (1 << 14)) >> 15
+    return _pack_i16(np.clip(wide, _I16_MIN, _I16_MAX))
+
+
+def pmaddwd(a, b, imm=None):
+    prod = _as_i16(a).astype(np.int64) * _as_i16(b)
+    pairs = prod[:, 0::2] + prod[:, 1::2]
+    return _pack_i32(pairs)
+
+
+# --- shifts -------------------------------------------------------------------
+
+def psraw(a, b=None, imm=0):
+    return _pack_i16(_as_i16(a) >> np.int16(imm))
+
+
+def psrad(a, b=None, imm=0):
+    return _pack_i32(_as_i32(a) >> np.int32(imm))
+
+
+def psllw(a, b=None, imm=0):
+    return _pack_i16(_as_i16(a).astype(np.int32) << imm)
+
+
+def psrlq(a, b=None, imm=0):
+    return (a >> np.uint64(imm)).astype(np.uint64)
+
+
+def psllq(a, b=None, imm=0):
+    return (a << np.uint64(imm)).astype(np.uint64)
+
+
+def pand(a, b, imm=None):
+    return (a & b).astype(np.uint64)
+
+
+def por(a, b, imm=None):
+    return (a | b).astype(np.uint64)
+
+
+# --- packs / unpacks ------------------------------------------------------------
+
+def packssdw(a, b, imm=None):
+    lanes = np.concatenate([_as_i32(a), _as_i32(b)], axis=1)
+    return _pack_i16(np.clip(lanes, _I16_MIN, _I16_MAX))
+
+
+def packuswb(a, b, imm=None):
+    lanes = np.concatenate([_as_i16(a), _as_i16(b)], axis=1)
+    return _pack_u8(np.clip(lanes, 0, _U8_MAX))
+
+
+def punpcklbw(a, b, imm=None):
+    la, lb = _as_u8(a)[:, :4], _as_u8(b)[:, :4]
+    out = np.empty((la.shape[0], 8), dtype=np.uint8)
+    out[:, 0::2] = la
+    out[:, 1::2] = lb
+    return _pack_u8(out)
+
+
+def punpckhbw(a, b, imm=None):
+    la, lb = _as_u8(a)[:, 4:], _as_u8(b)[:, 4:]
+    out = np.empty((la.shape[0], 8), dtype=np.uint8)
+    out[:, 0::2] = la
+    out[:, 1::2] = lb
+    return _pack_u8(out)
+
+
+def punpcklbz(a, b=None, imm=None):
+    return _pack_i16(_as_u8(a)[:, :4].astype(np.int16))
+
+
+def punpckhbz(a, b=None, imm=None):
+    return _pack_i16(_as_u8(a)[:, 4:].astype(np.int16))
+
+
+def splatlane(a, b=None, imm=0):
+    if not 0 <= imm < 4:
+        raise ExecutionError("splatlane: lane index out of range")
+    lanes = _as_i16(a)
+    return _pack_i16(np.repeat(lanes[:, imm:imm + 1], 4, axis=1))
+
+
+#: Dispatch table: opcode -> semantics function(a, b, imm) -> words.
+OP_FUNCS = {
+    Opcode.PADDB: paddb,
+    Opcode.PADDW: paddw,
+    Opcode.PADDD: paddd,
+    Opcode.PADDSW: paddsw,
+    Opcode.PADDUSB: paddusb,
+    Opcode.PSUBB: psubb,
+    Opcode.PSUBW: psubw,
+    Opcode.PSUBSW: psubsw,
+    Opcode.PSUBUSB: psubusb,
+    Opcode.PAVGB: pavgb,
+    Opcode.PSADBW: psadbw,
+    Opcode.PMULLW: pmullw,
+    Opcode.PMULHW: pmulhw,
+    Opcode.PMULHRS: pmulhrs,
+    Opcode.PMADDWD: pmaddwd,
+    Opcode.PSRAW: psraw,
+    Opcode.PSRAD: psrad,
+    Opcode.PSLLW: psllw,
+    Opcode.PSRLQ: psrlq,
+    Opcode.PSLLQ: psllq,
+    Opcode.PAND: pand,
+    Opcode.POR: por,
+    Opcode.PACKSSDW: packssdw,
+    Opcode.PACKUSWB: packuswb,
+    Opcode.PUNPCKLBW: punpcklbw,
+    Opcode.PUNPCKHBW: punpckhbw,
+    Opcode.PUNPCKLBZ: punpcklbz,
+    Opcode.PUNPCKHBZ: punpckhbz,
+    Opcode.SPLATLANE: splatlane,
+}
+
+
+def sad_reduce(a: np.ndarray, b: np.ndarray) -> int:
+    """Sum of absolute differences across all u8 lanes of all elements."""
+    return int(np.abs(
+        _as_u8(a).astype(np.int64) - _as_u8(b)).sum())
+
+
+def madd_reduce(a: np.ndarray, b: np.ndarray) -> int:
+    """Sum of i16 products across all lanes of all elements."""
+    return int((_as_i16(a).astype(np.int64) * _as_i16(b)).sum())

@@ -1,0 +1,20 @@
+"""The five Mediabench-style workloads in MMX / MOM / MOM+3D codings.
+
+Importing this package registers every benchmark; use
+:func:`get_benchmark` / :func:`benchmark_names` to enumerate them.
+"""
+
+from repro.workloads import gsm, jpeg, mpeg2  # noqa: F401  (registration)
+from repro.workloads.base import (
+    CODINGS,
+    Benchmark,
+    BuiltWorkload,
+    benchmark_names,
+    get_benchmark,
+    register,
+)
+
+__all__ = [
+    "Benchmark", "BuiltWorkload", "CODINGS", "benchmark_names",
+    "get_benchmark", "register",
+]

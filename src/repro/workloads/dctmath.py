@@ -1,0 +1,125 @@
+"""Fixed-point 8x8 DCT/IDCT math shared by the MPEG-2 and JPEG kernels.
+
+The kernels compute ``F = C . X . C^T`` (forward) and ``X = C^T . F . C``
+(inverse) as two lane-wise matrix passes with Q15 coefficients, using
+only operations the uSIMD ISA has (``pmulhrs``, ``paddsw``,
+``splatlane``, ``vbcast64``).  This module holds the coefficient
+matrices *and* bit-exact numpy mirrors of both passes, so the VM
+execution of every coding can be checked word-for-word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_I16_MIN, _I16_MAX = -(1 << 15), (1 << 15) - 1
+
+
+def dct_matrix() -> np.ndarray:
+    """The orthonormal 8-point DCT-II matrix (float64)."""
+    grid_u, grid_x = np.meshgrid(np.arange(8), np.arange(8), indexing="ij")
+    mat = np.cos((2 * grid_x + 1) * grid_u * np.pi / 16.0)
+    mat *= np.sqrt(2.0 / 8.0)
+    mat[0, :] *= 1.0 / np.sqrt(2.0)
+    return mat
+
+
+def dct_matrix_q15() -> np.ndarray:
+    """The DCT matrix in Q15 fixed point (int16)."""
+    return np.round(dct_matrix() * (1 << 15)).astype(np.int16)
+
+
+def mulhrs(a, b):
+    """numpy mirror of the PMULHRS lane operation."""
+    wide = (np.asarray(a, np.int32) * np.asarray(b, np.int32)
+            + (1 << 14)) >> 15
+    return np.clip(wide, _I16_MIN, _I16_MAX).astype(np.int16)
+
+
+def addsw(a, b):
+    """numpy mirror of the PADDSW lane operation."""
+    wide = np.asarray(a, np.int32) + np.asarray(b, np.int32)
+    return np.clip(wide, _I16_MIN, _I16_MAX).astype(np.int16)
+
+
+def sraw(a, count):
+    """numpy mirror of PSRAW."""
+    return (np.asarray(a, np.int16) >> np.int16(count)).astype(np.int16)
+
+
+def sllw(a, count):
+    """numpy mirror of PSLLW (wraparound)."""
+    return (np.asarray(a, np.int32) << count).astype(np.int16)
+
+
+def row_pass_fixed(x: np.ndarray, m_q15: np.ndarray) -> np.ndarray:
+    """T = X . M, computed exactly as the kernels do.
+
+    For every row r and output lane u:
+    ``t[r, u] = fold(addsw, mulhrs(x[r, k], m_q15[k, u]) for k)``,
+    accumulated in k order with i16 saturation at each step.
+    """
+    x = np.asarray(x, np.int16)
+    t = np.zeros((8, 8), dtype=np.int16)
+    for k in range(8):
+        t = addsw(t, mulhrs(x[:, k:k + 1], m_q15[k:k + 1, :]))
+    return t
+
+
+def col_pass_fixed(w_q15: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """OUT = W . T with the same saturating accumulation order."""
+    t = np.asarray(t, np.int16)
+    out = np.zeros((8, 8), dtype=np.int16)
+    for k in range(8):
+        out = addsw(out, mulhrs(w_q15[:, k:k + 1], t[k:k + 1, :]))
+    return out
+
+
+def fdct_fixed(block: np.ndarray) -> np.ndarray:
+    """Forward DCT of one 8x8 int16 block, in kernel fixed point.
+
+    The input is pre-scaled by 8 (PSLLW 3) so Q15 rounding noise is
+    small; the result is therefore 8x the mathematical DCT.
+    """
+    cq = dct_matrix_q15()
+    x = sllw(np.asarray(block, np.int16), 3)
+    t = row_pass_fixed(x, cq.T)
+    return col_pass_fixed(cq, t)
+
+
+def idct_fixed(block: np.ndarray) -> np.ndarray:
+    """Inverse DCT in kernel fixed point.
+
+    The input is pre-scaled down by 4 (PSRAW 2) to keep the saturating
+    intermediate sums in i16 range, so the result is IDCT(F)/4.
+    """
+    cq = dct_matrix_q15()
+    f = sraw(np.asarray(block, np.int16), 2)
+    t = row_pass_fixed(f, cq)
+    return col_pass_fixed(cq.T, t)
+
+
+def fdct_reference_float(block: np.ndarray) -> np.ndarray:
+    """Float forward DCT (for tolerance checks of the fixed point)."""
+    c = dct_matrix()
+    return c @ np.asarray(block, np.float64) @ c.T
+
+
+def idct_reference_float(block: np.ndarray) -> np.ndarray:
+    """Float inverse DCT."""
+    c = dct_matrix()
+    return c.T @ np.asarray(block, np.float64) @ c
+
+
+def bcast16(value: int) -> int:
+    """Replicate an i16 constant into a 64-bit VBCAST64 pattern."""
+    u = int(value) & 0xFFFF
+    return u | (u << 16) | (u << 32) | (u << 48)
+
+
+def lane_pattern(values) -> int:
+    """Pack four i16 lane values into a 64-bit VBCAST64 pattern."""
+    out = 0
+    for lane, value in enumerate(values):
+        out |= (int(value) & 0xFFFF) << (16 * lane)
+    return out

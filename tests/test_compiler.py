@@ -1,0 +1,221 @@
+"""Compiler tests: the generated code must equal the numpy references,
+and the 3D pass must reduce cache accesses without changing results."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileError
+from repro.compiler import (
+    Affine,
+    Loop,
+    MapNest,
+    Ref,
+    ReduceSelectNest,
+    Reduction,
+    Select,
+    compile_map,
+    compile_reduce_select,
+    pick_3d_candidates,
+)
+from repro.isa import ElemType, Opcode
+from repro.timing import mom3d_processor, mom_processor, simulate, vector_memsys
+from repro.vm import Arena, Executor, FlatMemory
+from repro.workloads.frames import synthetic_frame, synthetic_speech
+
+WIDTH = 64
+
+
+def fullsearch_nest(bx, by, win=2, bsize=8):
+    """The paper's Fig. 1 fullsearch kernel as a loop nest."""
+    n = 2 * win + 1
+    base = (by - win) * WIDTH + (bx - win)
+    a = Ref("ref", Affine(base, {"k": 1, "j": WIDTH, "i": 1}),
+            ElemType.U8)
+    b = Ref("cur", Affine(by * WIDTH + bx, {"j": WIDTH, "i": 1}),
+            ElemType.U8)
+    return ReduceSelectNest(
+        k=Loop("k", n * n), j=Loop("j", bsize), i=Loop("i", bsize),
+        reduction=Reduction("sad", a, b), select=Select("min"))
+
+
+def sad_reference_1d(ref, cur, bx, by, win, bsize):
+    """Reference for the nest above: k walks a flat 1D candidate range.
+
+    Note: the nest's k is a *single* linear loop over (2win+1)^2
+    positions all shifted horizontally (k * 1 byte), matching the
+    paper's Fig. 1 code where the k loop walks the x axis.
+    """
+    n = 2 * win + 1
+    block = cur[by:by + bsize, bx:bx + bsize].astype(np.int64)
+    best_idx, best = 0, 1 << 30
+    for k in range(n * n):
+        x0 = bx - win + k
+        cand = ref[by - win:by - win + bsize, x0:x0 + bsize].astype(
+            np.int64)
+        sad = int(np.abs(cand - block).sum())
+        if sad < best:
+            best_idx, best = k, sad
+    return best_idx, best
+
+
+@pytest.fixture
+def frames_memory():
+    memory = FlatMemory(1 << 18)
+    arena = Arena(memory)
+    ref = synthetic_frame(WIDTH, 48, seed=3)
+    cur = synthetic_frame(WIDTH, 48, seed=4)
+    symbols = {
+        "ref": arena.alloc_array(ref),
+        "cur": arena.alloc_array(cur),
+    }
+    result = arena.alloc(16)
+    return memory, symbols, result, ref, cur
+
+
+@pytest.mark.parametrize("use_3d", [False, True])
+def test_compiled_fullsearch_matches_reference(frames_memory, use_3d):
+    memory, symbols, result, ref, cur = frames_memory
+    nest = fullsearch_nest(16, 16)
+    compiled = compile_reduce_select(nest, symbols, result,
+                                     use_3d=use_3d)
+    assert compiled.used_3d == use_3d
+    Executor(memory).run(compiled.builder.program)
+    exp_idx, exp_sad = sad_reference_1d(ref, cur, 16, 16, 2, 8)
+    assert memory.read_u64(result) == exp_idx
+    assert memory.read_u64(result + 8) == exp_sad
+
+
+def test_3d_pass_reduces_cache_accesses(frames_memory):
+    memory, symbols, result, ref, cur = frames_memory
+    nest = fullsearch_nest(16, 16)
+    plain = compile_reduce_select(nest, symbols, result, use_3d=False)
+    with3d = compile_reduce_select(nest, symbols, result, use_3d=True)
+    s2 = simulate(plain.builder.program, mom_processor(), vector_memsys())
+    s3 = simulate(with3d.builder.program, mom3d_processor(),
+                  vector_memsys())
+    assert s3.l2_activity < s2.l2_activity / 2
+    assert s3.veclen.loads3d > 0
+
+
+def test_invariant_stream_is_hoisted_not_3d(frames_memory):
+    memory, symbols, result, *_ = frames_memory
+    nest = fullsearch_nest(16, 16)
+    candidates = pick_3d_candidates(nest)
+    assert [c.array for c in candidates] == ["ref"]  # cur is invariant
+
+
+def test_3d_request_without_candidates_rejected():
+    # both streams invariant along k -> nothing to 3D-vectorize
+    a = Ref("x", Affine(0, {"j": 64, "i": 1}), ElemType.U8)
+    b = Ref("y", Affine(0, {"j": 64, "i": 1}), ElemType.U8)
+    nest = ReduceSelectNest(
+        k=Loop("k", 4), j=Loop("j", 8), i=Loop("i", 8),
+        reduction=Reduction("sad", a, b), select=Select("min"))
+    with pytest.raises(CompileError):
+        compile_reduce_select(nest, {"x": 0x1000, "y": 0x2000}, 0x100,
+                              use_3d=True)
+
+
+def test_wide_slab_rejected_for_3d():
+    # k stride too large: slab would exceed a 128-byte element
+    a = Ref("x", Affine(0, {"k": 256, "j": 64, "i": 1}), ElemType.U8)
+    b = Ref("y", Affine(0, {"j": 64, "i": 1}), ElemType.U8)
+    nest = ReduceSelectNest(
+        k=Loop("k", 8), j=Loop("j", 8), i=Loop("i", 8),
+        reduction=Reduction("sad", a, b), select=Select("min"))
+    assert pick_3d_candidates(nest) == []
+
+
+def test_non_contiguous_inner_loop_rejected():
+    a = Ref("x", Affine(0, {"k": 1, "j": 64, "i": 2}), ElemType.U8)
+    b = Ref("y", Affine(0, {"j": 64, "i": 1}), ElemType.U8)
+    nest = ReduceSelectNest(
+        k=Loop("k", 4), j=Loop("j", 8), i=Loop("i", 8),
+        reduction=Reduction("sad", a, b), select=Select("min"))
+    with pytest.raises(CompileError):
+        compile_reduce_select(nest, {"x": 0, "y": 0x2000}, 0x100)
+
+
+def test_vector_dim_longer_than_16_rejected():
+    a = Ref("x", Affine(0, {"k": 1, "j": 64, "i": 1}), ElemType.U8)
+    b = Ref("y", Affine(0, {"j": 64, "i": 1}), ElemType.U8)
+    nest = ReduceSelectNest(
+        k=Loop("k", 4), j=Loop("j", 20), i=Loop("i", 8),
+        reduction=Reduction("sad", a, b), select=Select("min"))
+    with pytest.raises(CompileError):
+        compile_reduce_select(nest, {"x": 0, "y": 0x2000}, 0x100)
+
+
+def test_compiled_correlation_argmax():
+    """The GSM LTP pattern: mac reduction + argmax, negative k stride."""
+    memory = FlatMemory(1 << 16)
+    arena = Arena(memory)
+    samples = synthetic_speech(300, seed=7)
+    base = arena.alloc_array(samples)
+    result = arena.alloc(16)
+    k0, lag_min, n_lags = 160, 40, 41
+    # d[i16] current window, dp at decreasing addresses as lag grows
+    a = Ref("s", Affine(2 * (k0 - lag_min), {"k": -2, "j": 8, "i": 2}),
+            ElemType.I16)
+    b = Ref("s", Affine(2 * k0, {"j": 8, "i": 2}), ElemType.I16)
+    nest = ReduceSelectNest(
+        k=Loop("k", n_lags), j=Loop("j", 10), i=Loop("i", 4),
+        reduction=Reduction("mac", a, b), select=Select("max"))
+
+    s = samples.astype(np.int64)
+    d = s[k0:k0 + 40]
+    best_idx, best = 0, -(1 << 30)
+    for k in range(n_lags):
+        lag = lag_min + k
+        corr = int((d * s[k0 - lag:k0 - lag + 40]).sum())
+        if corr > best:
+            best_idx, best = k, corr
+
+    for use_3d in (False, True):
+        mem = FlatMemory(1 << 16)
+        mem.data[:] = memory.data
+        compiled = compile_reduce_select(nest, {"s": base}, result,
+                                         use_3d=use_3d)
+        Executor(mem).run(compiled.builder.program)
+        assert mem.read_u64(result) == best_idx, f"use_3d={use_3d}"
+
+
+@pytest.mark.parametrize("use_3d", [False, True])
+def test_compiled_map_halfpel(use_3d):
+    """Motion-compensation style map: out = pavgb(x, x+1)."""
+    memory = FlatMemory(1 << 16)
+    arena = Arena(memory)
+    frame = synthetic_frame(WIDTH, 16, seed=9)
+    base = arena.alloc_array(frame)
+    out = arena.alloc(WIDTH * 16)
+    a = Ref("f", Affine(0, {"j": WIDTH, "i": 1}), ElemType.U8)
+    b = Ref("f", Affine(1, {"j": WIDTH, "i": 1}), ElemType.U8)
+    o = Ref("o", Affine(0, {"j": WIDTH, "i": 1}), ElemType.U8)
+    nest = MapNest(j=Loop("j", 8), i=Loop("i", 16), op=Opcode.PAVGB,
+                   a=a, b=b, out=o, etype=ElemType.U8)
+    compiled = compile_map(nest, {"f": base, "o": out}, use_3d=use_3d)
+    Executor(memory).run(compiled.builder.program)
+    # the output stream uses the same row stride as the input frame
+    got = memory.read_array(out, (8, WIDTH), np.uint8)[:, :16]
+    expected = ((frame[:8, :16].astype(np.int32)
+                 + frame[:8, 1:17] + 1) >> 1).astype(np.uint8)
+    assert np.array_equal(got, expected)
+
+
+def test_map_alias_rejected():
+    a = Ref("f", Affine(0, {"j": 64, "i": 1}), ElemType.U8)
+    b = Ref("f", Affine(1, {"j": 64, "i": 1}), ElemType.U8)
+    out = Ref("f", Affine(8, {"j": 64, "i": 1}), ElemType.U8)
+    nest = MapNest(j=Loop("j", 8), i=Loop("i", 8), op=Opcode.PAVGB,
+                   a=a, b=b, out=out)
+    with pytest.raises(CompileError):
+        compile_map(nest, {"f": 0x1000}, use_3d=False)
+
+
+def test_affine_arithmetic():
+    e = Affine(10, {"i": 2, "j": 0})
+    assert e.coeff("i") == 2
+    assert e.coeff("j") == 0  # zero coefficients dropped
+    assert e.evaluate({"i": 3}) == 16
+    assert e.shift(5).const == 15
+    assert e.drop("i").coeffs == {}

@@ -1,0 +1,146 @@
+"""Configuration validation and run-statistics edge coverage."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa import ElemType, ExecClass, Opcode, ProgramBuilder, r, v
+from repro.memsys import HierarchyConfig
+from repro.timing import (
+    MemSysConfig,
+    ProcessorConfig,
+    ideal_memsys,
+    mmx_processor,
+    mom3d_processor,
+    mom_processor,
+    multibank_memsys,
+    simulate,
+    vector_memsys,
+)
+from repro.timing.stats import RunStats, VecLenStats
+
+
+# --- configuration validation -------------------------------------------------
+
+
+def test_processor_config_rejects_bad_isa():
+    with pytest.raises(ConfigError):
+        ProcessorConfig(name="x", isa="avx")
+
+
+def test_memsys_config_rejects_bad_kind():
+    with pytest.raises(ConfigError):
+        MemSysConfig(name="x", kind="scratchpad")
+
+
+def test_table2_constants():
+    mmx, mom = mmx_processor(), mom_processor()
+    assert (mmx.fetch_width, mmx.window, mmx.lsq) == (8, 128, 32)
+    assert (mmx.simd_issue, mmx.simd_fus, mmx.simd_lanes) == (4, 4, 1)
+    assert (mom.simd_issue, mom.simd_fus, mom.simd_lanes) == (1, 1, 4)
+    assert (mmx.mem_issue, mom.mem_issue) == (4, 2)
+    assert (mmx.l1_ports, mom.l1_ports) == (4, 2)
+
+
+def test_mom3d_differs_from_mom_only_in_isa():
+    mom, m3d = mom_processor(), mom3d_processor()
+    assert m3d.isa == "mom3d" and mom.isa == "mom"
+    assert m3d.simd_lanes == mom.simd_lanes
+    assert m3d.extra_vector_regs == mom.extra_vector_regs
+
+
+def test_memsys_factories_name_latency_variants():
+    assert vector_memsys().name == "vector"
+    assert vector_memsys(60).name == "vector-l60"
+    assert multibank_memsys(40).name == "multibank-l40"
+    assert ideal_memsys().hierarchy.l2_latency == 1
+
+
+def test_hierarchy_config_defaults_are_papers():
+    cfg = HierarchyConfig()
+    assert cfg.l2_size == 2 * 1024 * 1024
+    assert cfg.l2_line == 128
+    assert cfg.l2_latency == 20
+    assert cfg.l1_line == 32
+
+
+def test_memsys_build_is_fresh_per_call():
+    cfg = vector_memsys()
+    h1, p1, l1 = cfg.build()
+    h2, p2, l2 = cfg.build()
+    assert h1 is not h2 and p1 is not p2 and l1 is not l2
+
+
+# --- run statistics --------------------------------------------------------------
+
+
+def _small_run():
+    b = ProgramBuilder("stats-test")
+    b.setvl(4)
+    b.li(r(1), 3)
+    b.vld(v(0), ea=0x1000, stride=8, etype=ElemType.U8)
+    b.simd(Opcode.PADDB, v(1), v(0), v(0), etype=ElemType.U8)
+    b.vst(v(1), ea=0x2000, stride=8, etype=ElemType.U8)
+    b.branch()
+    return simulate(b.program, mom_processor(), vector_memsys())
+
+
+def test_by_class_and_opcode_histograms():
+    stats = _small_run()
+    assert stats.by_class[ExecClass.VMEM] == 2
+    assert stats.by_class[ExecClass.SIMD] == 1
+    assert stats.by_opcode[Opcode.VLD] == 1
+    assert stats.instructions == 6
+
+
+def test_store_words_accounted():
+    stats = _small_run()
+    assert stats.vector_port.words_stored == 4
+    assert stats.vector_port.words_loaded == 4
+
+
+def test_summary_and_ipc():
+    stats = _small_run()
+    assert 0 < stats.ipc < 8
+    text = stats.summary()
+    assert "stats-test" in text and "IPC" in text
+
+
+def test_veclen_empty_defaults():
+    veclen = VecLenStats()
+    assert veclen.dim1 == veclen.dim2 == veclen.dim3 == 0.0
+
+
+def test_veclen_slice_counting_resets_per_load():
+    veclen = VecLenStats()
+    veclen.record_dvload3(0, 8, 8)
+    for _ in range(5):
+        veclen.record_dvmov3(0)
+    veclen.record_dvload3(0, 8, 8)
+    for _ in range(3):
+        veclen.record_dvmov3(0)
+    assert veclen.dim3 == pytest.approx(4.0)  # 8 slices / 2 loads
+    assert veclen.max_slices_per_load == 5
+
+
+def test_runstats_effective_bandwidth_zero_when_idle():
+    stats = RunStats()
+    assert stats.effective_bandwidth == 0.0
+    assert stats.ipc == 0.0
+
+
+def test_mmx_programs_reject_setvl_free_vector_ops():
+    """MMX config routes vl=1 media ops through the L1 path only."""
+    b = ProgramBuilder()
+    b.vld(v(0), ea=0x1000, stride=8, vl=1)
+    stats = simulate(b.program, mmx_processor(), vector_memsys())
+    assert stats.vector_port.requests == 0
+    assert stats.l1_port.requests == 1
+
+
+def test_branch_consumes_fetch_but_no_fu():
+    b = ProgramBuilder()
+    for _ in range(8):
+        b.branch()
+    stats = simulate(b.program, mom_processor(), ideal_memsys())
+    assert stats.by_class[ExecClass.BRANCH] == 8
+    assert stats.cycles >= 8  # one bubble per taken branch

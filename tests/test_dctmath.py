@@ -1,0 +1,100 @@
+"""Fixed-point DCT math: exactness of mirrors, closeness to float."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import dctmath
+
+blocks_i16 = st.lists(
+    st.integers(-255, 255), min_size=64, max_size=64
+).map(lambda xs: np.array(xs, dtype=np.int16).reshape(8, 8))
+
+
+def test_dct_matrix_orthonormal():
+    c = dctmath.dct_matrix()
+    assert np.allclose(c @ c.T, np.eye(8), atol=1e-12)
+
+
+def test_dct_matrix_q15_range():
+    cq = dctmath.dct_matrix_q15()
+    assert cq.dtype == np.int16
+    assert abs(cq).max() <= 23171  # sqrt(2)/2 in Q15, rounded
+
+
+def test_mulhrs_matches_scalar_definition():
+    a = np.array([1000, -1000, 32767, -32768], dtype=np.int16)
+    b = np.array([16384, 16384, 32767, -32768], dtype=np.int16)
+    out = dctmath.mulhrs(a, b)
+    for x, y, got in zip(a.astype(int), b.astype(int), out.astype(int)):
+        expected = (x * y + (1 << 14)) >> 15
+        expected = max(-32768, min(32767, expected))
+        assert got == expected
+
+
+def test_fdct_close_to_float():
+    rng = np.random.default_rng(0)
+    block = rng.integers(-128, 128, size=(8, 8)).astype(np.int16)
+    fixed = dctmath.fdct_fixed(block).astype(np.float64) / 8.0
+    exact = dctmath.fdct_reference_float(block)
+    assert np.abs(fixed - exact).max() < 2.0
+
+
+def test_idct_close_to_float():
+    rng = np.random.default_rng(1)
+    # multiples of 4 so the PSRAW-2 pre-scale loses no bits; what is
+    # left is pure Q15 rounding noise
+    block = (rng.integers(-256, 256, size=(8, 8)) * 4).astype(np.int16)
+    fixed = dctmath.idct_fixed(block).astype(np.float64) * 4.0
+    exact = dctmath.idct_reference_float(block)
+    # each output accumulates 16 Q15 roundings of +-0.5, scaled by 4:
+    # the error bound is 4 * 16 * 0.5 / 2 = 16 in the worst case
+    assert np.abs(fixed - exact).max() < 16.0
+
+
+def test_fdct_idct_roundtrip_tolerance():
+    rng = np.random.default_rng(2)
+    block = rng.integers(-100, 100, size=(8, 8)).astype(np.int16)
+    coeffs = dctmath.fdct_fixed(block)  # 8x scaled
+    # idct_fixed returns IDCT(F)/4 = 8x/4 = 2x the original
+    back = dctmath.idct_fixed(coeffs).astype(np.float64) / 2.0
+    assert np.abs(back - block).max() < 4.0
+
+
+def test_scipy_cross_check():
+    scipy = pytest.importorskip("scipy")
+    from scipy.fftpack import dct
+
+    rng = np.random.default_rng(3)
+    block = rng.integers(-128, 128, size=(8, 8)).astype(np.float64)
+    ours = dctmath.fdct_reference_float(block)
+    theirs = dct(dct(block.T, norm="ortho").T, norm="ortho")
+    assert np.allclose(ours, theirs, atol=1e-9)
+
+
+@given(blocks_i16)
+@settings(max_examples=30)
+def test_row_then_col_equals_full_fixed_pipeline(block):
+    cq = dctmath.dct_matrix_q15()
+    x = dctmath.sllw(block, 3)
+    via_passes = dctmath.col_pass_fixed(
+        cq, dctmath.row_pass_fixed(x, cq.T))
+    assert np.array_equal(via_passes, dctmath.fdct_fixed(block))
+
+
+@given(blocks_i16)
+@settings(max_examples=30)
+def test_fixed_passes_stay_in_i16(block):
+    out = dctmath.fdct_fixed(block)
+    assert out.dtype == np.int16
+
+
+def test_bcast16_pattern():
+    assert dctmath.bcast16(1) == 0x0001_0001_0001_0001
+    assert dctmath.bcast16(-1) == 0xFFFF_FFFF_FFFF_FFFF
+
+
+def test_lane_pattern_order():
+    # lane 0 in the least significant 16 bits
+    assert dctmath.lane_pattern([1, 2, 3, 4]) == 0x0004_0003_0002_0001

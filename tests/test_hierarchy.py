@@ -1,0 +1,88 @@
+"""Cache hierarchy tests: scalar path, vector path, coherence."""
+
+import pytest
+
+from repro.memsys import CacheHierarchy, HierarchyConfig
+
+
+def make():
+    return CacheHierarchy(HierarchyConfig())
+
+
+def test_geometry_defaults_match_paper():
+    h = make()
+    assert h.l1.size_bytes == 64 * 1024
+    assert h.l1.ways == 2
+    assert h.l1.line_bytes == 32
+    assert not h.l1.write_back  # write-through
+    assert h.l2.size_bytes == 2 * 1024 * 1024
+    assert h.l2.ways == 4
+    assert h.l2.line_bytes == 128
+    assert h.l2.write_back
+
+
+def test_scalar_hit_latency():
+    h = make()
+    h.scalar_access(0x1000)  # miss, fills both levels
+    assert h.scalar_access(0x1000) == h.config.l1_latency
+
+
+def test_scalar_miss_goes_to_l2_then_memory():
+    h = make()
+    cold = h.scalar_access(0x1000)
+    assert cold == (h.config.l1_latency + h.config.l2_latency
+                    + h.config.mem_latency)
+    h.l1.invalidate(0x1000)
+    l2_only = h.scalar_access(0x1000)
+    assert l2_only == h.config.l1_latency + h.config.l2_latency
+
+
+def test_write_through_updates_l2():
+    h = make()
+    h.scalar_access(0x2000, is_write=True)
+    assert h.l2.probe(0x2000)
+
+
+def test_vector_access_bypasses_l1():
+    h = make()
+    hit, extra = h.vector_line_access(0x3000)
+    assert not hit and extra == h.config.mem_latency
+    assert not h.l1.probe(0x3000)
+    hit, extra = h.vector_line_access(0x3000)
+    assert hit and extra == 0
+
+
+def test_exclusive_bit_handoff_scalar_to_vector():
+    h = make()
+    h.scalar_access(0x4000)
+    assert h.l2.is_scalar_owned(0x4000)
+    _hit, extra = h.vector_line_access(0x4000)
+    assert extra >= h.config.coherence_penalty
+    assert h.coherence_events == 1
+    assert not h.l1.probe(0x4000)
+    # second vector access: no more coherence traffic
+    _hit, extra = h.vector_line_access(0x4000)
+    assert extra == 0
+    assert h.coherence_events == 1
+
+
+def test_scalar_reclaims_line_after_vector():
+    h = make()
+    h.scalar_access(0x5000)
+    h.vector_line_access(0x5000)
+    h.scalar_access(0x5000)
+    assert h.l2.is_scalar_owned(0x5000)
+
+
+def test_writeback_counted_on_dirty_vector_eviction():
+    h = CacheHierarchy(HierarchyConfig(l2_size=4 * 128, l2_ways=1))
+    set_stride = 4 * 128
+    h.vector_line_access(0x0, is_write=True)
+    h.vector_line_access(set_stride, is_write=False)  # evicts dirty
+    assert h.l2.stats.writebacks == 1
+
+
+def test_mainmem_counters():
+    h = make()
+    h.vector_line_access(0x9000)
+    assert h.mainmem.line_fetches == 1

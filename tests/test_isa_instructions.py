@@ -1,0 +1,111 @@
+"""Unit tests for instruction construction, validation and the builder."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import (
+    ElemType,
+    ExecClass,
+    Instruction,
+    Opcode,
+    Program,
+    ProgramBuilder,
+    acc,
+    r,
+    v,
+    d3,
+)
+
+
+def test_memory_instruction_requires_ea():
+    inst = Instruction(op=Opcode.VLD, dsts=(v(0),), stride=8, vl=4)
+    with pytest.raises(IsaError):
+        inst.validate()
+
+
+def test_vld_requires_stride():
+    inst = Instruction(op=Opcode.VLD, dsts=(v(0),), ea=0x100, vl=4)
+    with pytest.raises(IsaError):
+        inst.validate()
+
+
+def test_dvload3_wwords_range():
+    bad = Instruction(op=Opcode.DVLOAD3, dsts=(d3(0),), ea=0, stride=8,
+                      vl=4, wwords=17)
+    with pytest.raises(IsaError):
+        bad.validate()
+    good = Instruction(op=Opcode.DVLOAD3, dsts=(d3(0),), ea=0, stride=8,
+                       vl=4, wwords=16)
+    good.validate()
+
+
+def test_dvmov3_requires_pstride():
+    inst = Instruction(op=Opcode.DVMOV3, dsts=(v(0),), srcs=(d3(0),), vl=4)
+    with pytest.raises(IsaError):
+        inst.validate()
+
+
+def test_exec_class_mapping():
+    assert Instruction(op=Opcode.ADD).exec_class is ExecClass.INT
+    assert Instruction(op=Opcode.PADDB).exec_class is ExecClass.SIMD
+    assert Instruction(op=Opcode.VLD).exec_class is ExecClass.VMEM
+    assert Instruction(op=Opcode.DVLOAD3).exec_class is ExecClass.V3DLOAD
+    assert Instruction(op=Opcode.DVMOV3).exec_class is ExecClass.V3DMOVE
+
+
+def test_builder_tracks_vl():
+    b = ProgramBuilder("t")
+    b.setvl(8)
+    b.vld(v(0), ea=0x1000, stride=64)
+    assert b.program.instructions[-1].vl == 8
+    b.setvl(2)
+    b.simd(Opcode.PADDB, v(1), v(0), v(0), etype=ElemType.U8)
+    assert b.program.instructions[-1].vl == 2
+
+
+def test_builder_setvl_range():
+    b = ProgramBuilder()
+    with pytest.raises(IsaError):
+        b.setvl(0)
+    with pytest.raises(IsaError):
+        b.setvl(17)
+
+
+def test_builder_tagging():
+    b = ProgramBuilder()
+    with b.tagged("kernel_a"):
+        b.li(r(0), 1)
+    b.li(r(1), 2)
+    assert b.program.instructions[0].tag == "kernel_a"
+    assert b.program.instructions[1].tag == ""
+
+
+def test_builder_cmov_reads_dst():
+    b = ProgramBuilder()
+    b.cmov(r(2), r(0), r(1))
+    inst = b.program.instructions[-1]
+    assert r(2) in inst.srcs  # old value is an input
+
+
+def test_program_count_by_class():
+    b = ProgramBuilder()
+    b.li(r(0), 1)
+    b.setvl(4)
+    b.vld(v(0), ea=0, stride=8)
+    hist = b.program.count_by_class()
+    assert hist[ExecClass.INT] == 1
+    assert hist[ExecClass.VMEM] == 1
+
+
+def test_program_append_validates():
+    program = Program()
+    with pytest.raises(IsaError):
+        program.append(Instruction(op=Opcode.VLD, dsts=(v(0),), stride=8))
+
+
+def test_accumulator_ops_read_accumulator():
+    b = ProgramBuilder()
+    b.setvl(4)
+    b.vpsadacc(acc(0), v(0), v(1))
+    inst = b.program.instructions[-1]
+    assert acc(0) in inst.srcs and acc(0) in inst.dsts

@@ -1,0 +1,45 @@
+"""Unit tests for the register architecture."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import RegClass, Register, VL, VS, acc, d3, r, v
+
+
+def test_scalar_constructor():
+    reg = r(5)
+    assert reg.cls is RegClass.SCALAR
+    assert reg.index == 5
+    assert repr(reg) == "r5"
+
+
+def test_vector_constructor():
+    assert repr(v(15)) == "v15"
+    assert v(0).cls is RegClass.VECTOR
+
+
+def test_acc_and_3d_constructors():
+    assert repr(acc(1)) == "acc1"
+    assert repr(d3(0)) == "d0"
+
+
+def test_control_registers():
+    assert repr(VL) == "vl"
+    assert repr(VS) == "vs"
+
+
+@pytest.mark.parametrize("ctor,bad", [(r, 32), (v, 16), (acc, 2), (d3, 2)])
+def test_out_of_range_indices_rejected(ctor, bad):
+    with pytest.raises(IsaError):
+        ctor(bad)
+
+
+@pytest.mark.parametrize("ctor", [r, v, acc, d3])
+def test_negative_indices_rejected(ctor):
+    with pytest.raises(IsaError):
+        ctor(-1)
+
+
+def test_registers_hashable_and_equal():
+    assert r(3) == Register(RegClass.SCALAR, 3)
+    assert len({v(1), v(1), v(2)}) == 2

@@ -1,0 +1,126 @@
+"""Unit + property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memsys import SetAssocCache
+
+
+def small_cache(ways=2, lines=8, line_bytes=32):
+    return SetAssocCache(size_bytes=line_bytes * lines, line_bytes=line_bytes,
+                         ways=ways, name="t")
+
+
+def test_geometry():
+    c = SetAssocCache(2 * 1024 * 1024, 128, 4, name="L2")
+    assert c.n_sets == 4096
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ConfigError):
+        SetAssocCache(1000, 32, 3)
+
+
+def test_cold_miss_then_hit():
+    c = small_cache()
+    assert c.access(0x100) is False
+    assert c.access(0x100) is True
+    assert c.access(0x11F) is True  # same 32-byte line
+    assert c.access(0x120) is False  # next line
+
+
+def test_lru_eviction_order():
+    c = small_cache(ways=2, lines=8, line_bytes=32)
+    # set count = 4; three lines mapping to set 0: addresses k*4*32
+    s = 4 * 32
+    c.access(0 * s)
+    c.access(1 * s)
+    c.access(0 * s)  # 0 is now MRU
+    c.access(2 * s)  # evicts 1
+    assert c.probe(0 * s) is True
+    assert c.probe(1 * s) is False
+    assert c.probe(2 * s) is True
+
+
+def test_writeback_counted_for_dirty_victims():
+    c = small_cache(ways=1, lines=4, line_bytes=32)
+    s = 4 * 32
+    c.access(0, is_write=True)
+    c.access(s)  # evicts dirty line 0
+    assert c.stats.writebacks == 1
+    c.access(2 * s)  # evicts clean line s
+    assert c.stats.writebacks == 1
+
+
+def test_write_through_cache_has_no_writebacks():
+    c = SetAssocCache(4 * 32, 32, 1, write_back=False)
+    s = 4 * 32
+    c.access(0, is_write=True)
+    c.access(s)
+    assert c.stats.writebacks == 0
+
+
+def test_invalidate():
+    c = small_cache()
+    c.access(0x40)
+    assert c.invalidate(0x40) is True
+    assert c.probe(0x40) is False
+    assert c.invalidate(0x40) is False
+
+
+def test_exclusive_bit():
+    c = small_cache()
+    c.access(0x40)
+    assert c.is_scalar_owned(0x40) is False
+    c.set_scalar_owned(0x40, True)
+    assert c.is_scalar_owned(0x40) is True
+
+
+def test_lines_touched_spanning():
+    c = small_cache(line_bytes=32)
+    assert c.lines_touched(0, 32) == [0]
+    assert c.lines_touched(16, 32) == [0, 32]
+    assert c.lines_touched(31, 2) == [0, 32]
+
+
+def test_stats_hits_plus_misses_equals_accesses():
+    c = small_cache()
+    for addr in [0, 32, 0, 64, 96, 0, 32]:
+        c.access(addr)
+    assert c.stats.hits + c.stats.misses == c.stats.accesses == 7
+
+
+@given(st.lists(st.integers(0, 2 ** 14), min_size=1, max_size=300))
+@settings(max_examples=40)
+def test_occupancy_never_exceeds_capacity(addrs):
+    c = small_cache(ways=2, lines=16, line_bytes=32)
+    for addr in addrs:
+        c.access(addr)
+    for cset in c._sets:
+        assert len(cset) <= c.ways
+
+
+@given(st.lists(st.integers(0, 2 ** 12), min_size=1, max_size=200))
+@settings(max_examples=40)
+def test_repeat_access_is_always_hit(addrs):
+    c = small_cache(ways=4, lines=64, line_bytes=32)
+    for addr in addrs:
+        c.access(addr)
+        assert c.access(addr) is True
+
+
+@given(st.lists(st.integers(0, 2 ** 14), min_size=1, max_size=300))
+@settings(max_examples=30)
+def test_lru_stack_property_more_ways_never_more_misses(addrs):
+    """LRU inclusion: same set count, more ways => subset of misses."""
+    n_sets = 8
+    narrow = SetAssocCache(32 * n_sets * 2, 32, 2)
+    wide = SetAssocCache(32 * n_sets * 4, 32, 4)
+    assert narrow.n_sets == wide.n_sets == n_sets
+    nm = wm = 0
+    for addr in addrs:
+        nm += 0 if narrow.access(addr) else 1
+        wm += 0 if wide.access(addr) else 1
+    assert wm <= nm

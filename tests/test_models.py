@@ -1,0 +1,110 @@
+"""Area model (Table 3, exact) and power model (Fig. 11, shape) tests."""
+
+import pytest
+
+from repro.harness import paper
+from repro.models import (
+    ACC_RF,
+    D3_PTR_RF,
+    D3_RF,
+    MMX_RF,
+    MOM_RF,
+    access_energies,
+    config_area,
+    normalized_areas,
+    rf_area_tracks,
+    run_power,
+)
+from repro.timing.stats import RunStats
+
+
+# --- Table 3: every row must be EXACT ---------------------------------------
+
+
+@pytest.mark.parametrize("spec,expected", [
+    (MMX_RF, 2_826_240),
+    (MOM_RF, 2_654_208),
+    (ACC_RF, 23_040),
+    (D3_RF, 1_966_080),
+    (D3_PTR_RF, 3_136),
+], ids=lambda x: getattr(x, "name", x))
+def test_table3_register_file_areas_exact(spec, expected):
+    assert spec.area_tracks == expected
+
+
+def test_table3_totals_exact():
+    assert config_area("mmx")["total"] == paper.TABLE3_AREAS["total-mmx"]
+    assert config_area("mom")["total"] == paper.TABLE3_AREAS["total-mom"]
+    assert config_area("mom3d")["total"] == \
+        paper.TABLE3_AREAS["total-mom3d"]
+
+
+def test_table3_normalized_areas():
+    norm = normalized_areas()
+    assert norm["mmx"] == pytest.approx(1.00)
+    assert norm["mom"] == pytest.approx(0.95, abs=0.005)
+    assert norm["mom3d"] == pytest.approx(1.50, abs=0.005)
+
+
+def test_area_grows_quadratically_with_ports():
+    narrow = rf_area_tracks(1024, 1, 1)
+    wide = rf_area_tracks(1024, 4, 4)
+    assert wide / narrow == pytest.approx((12 * 11) / (6 * 5))
+
+
+def test_mom3d_area_overhead_is_the_papers_50_percent():
+    norm = normalized_areas()
+    assert norm["mom3d"] - norm["mmx"] == pytest.approx(0.50, abs=0.01)
+
+
+def test_unknown_config_rejected():
+    with pytest.raises(ValueError):
+        config_area("sse2")
+
+
+# --- power model ---------------------------------------------------------------
+
+
+def _stats(cycles, activity, rf3d_reads=0, rf3d_writes=0):
+    stats = RunStats(cycles=cycles)
+    stats.vector_port.cache_accesses = activity
+    stats.rf3d_reads = rf3d_reads
+    stats.rf3d_writes = rf3d_writes
+    return stats
+
+
+def test_access_energy_ordering():
+    energies = access_energies()
+    # a 3D RF access must be much cheaper than any L2 access
+    assert energies.rf3d < energies.l2_bank / 3
+    assert energies.rf3d < energies.l2_wide / 3
+
+
+def test_power_scales_with_activity_rate():
+    low = run_power(_stats(10_000, 1_000), "vector")
+    high = run_power(_stats(10_000, 4_000), "vector")
+    assert high.l2_watts > low.l2_watts
+    # dynamic part scales 4x
+    static = run_power(_stats(10_000, 0), "vector").l2_watts
+    assert (high.l2_watts - static) == pytest.approx(
+        4 * (low.l2_watts - static))
+
+
+def test_power_in_papers_band():
+    """~0.9 access/cycle multi-banked should land near 8-18 W."""
+    power = run_power(_stats(10_000, 9_000), "multibank")
+    assert 5.0 < power.total < 25.0
+
+
+def test_rf3d_power_negligible_vs_l2_savings():
+    """Paper Sec. 6.3: 3D RF power is small next to the L2 it saves."""
+    without = run_power(_stats(10_000, 4_000), "vector")
+    with3d = run_power(_stats(10_000, 1_000, rf3d_reads=2_000,
+                              rf3d_writes=500), "vector")
+    assert with3d.total < without.total
+    assert with3d.rf3d_watts < 0.2 * (without.l2_watts - with3d.l2_watts)
+
+
+def test_zero_cycle_run_is_zero_power():
+    power = run_power(_stats(0, 0), "vector")
+    assert power.total == 0.0

@@ -1,0 +1,105 @@
+"""Property-based tests on the vector-port designs' invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsys import (
+    CacheHierarchy,
+    HierarchyConfig,
+    MemRequest,
+    MultiBankedPort,
+    VectorCachePort,
+)
+
+WORD = 8
+
+strides = st.sampled_from([8, -8, 16, 24, 32, 64, 128, 720])
+vls = st.integers(1, 16)
+addrs = st.integers(0x1000, 0x40000).map(lambda a: a & ~0x7)
+
+
+def element_request(addr, stride, vl):
+    return MemRequest(refs=[(addr + k * stride, WORD) for k in range(vl)],
+                      useful_words=vl)
+
+
+def line_request(addr, stride, vl, wwords):
+    return MemRequest(
+        refs=[(addr + k * stride, wwords * WORD) for k in range(vl)],
+        useful_words=vl * wwords, line_mode=True)
+
+
+@given(addrs, strides, vls)
+@settings(max_examples=60)
+def test_vector_cache_access_bounds(addr, stride, vl):
+    """Grouping never exceeds vl accesses nor goes below ceil(vl/4)."""
+    port = VectorCachePort(CacheHierarchy(HierarchyConfig()))
+    sched = port.schedule(element_request(addr, stride, vl), earliest=0)
+    assert (vl + 3) // 4 <= sched.port_accesses <= vl
+    assert sched.words == vl
+    assert sched.busy_cycles == sched.port_accesses
+
+
+@given(addrs, vls)
+@settings(max_examples=40)
+def test_vector_cache_dense_is_optimal(addr, vl):
+    port = VectorCachePort(CacheHierarchy(HierarchyConfig()))
+    sched = port.schedule(element_request(addr, 8, vl), earliest=0)
+    assert sched.port_accesses == (vl + 3) // 4
+
+
+@given(addrs, st.sampled_from([64, 128, 256, 720]), st.integers(1, 8),
+       st.integers(1, 16))
+@settings(max_examples=60)
+def test_line_mode_activity_bounded_by_distinct_lines(addr, stride, vl,
+                                                      wwords):
+    hierarchy = CacheHierarchy(HierarchyConfig())
+    port = VectorCachePort(hierarchy)
+    request = line_request(addr, stride, vl, wwords)
+    sched = port.schedule(request, earliest=0)
+    # distinct lines can never exceed the footprint / line size + slack
+    footprint_lines = set()
+    for ref_addr, nbytes in request.refs:
+        for line in hierarchy.l2.lines_touched(ref_addr, nbytes):
+            footprint_lines.add(line)
+    assert sched.port_accesses == len(footprint_lines)
+    assert sched.words == vl * wwords
+    assert sched.busy_cycles >= sched.port_accesses
+
+
+@given(addrs, strides, vls)
+@settings(max_examples=60)
+def test_multibank_respects_port_and_bank_limits(addr, stride, vl):
+    port = MultiBankedPort(CacheHierarchy(HierarchyConfig()),
+                           n_ports=4, n_banks=8)
+    sched = port.schedule(element_request(addr, stride, vl), earliest=0)
+    # every word reference is one bank access
+    assert sched.cache_accesses >= vl
+    # at most 4 references retire per cycle
+    assert sched.port_accesses >= (sched.cache_accesses + 3) // 4
+    assert sched.busy_cycles == sched.port_accesses
+
+
+@given(addrs, strides, vls)
+@settings(max_examples=40)
+def test_ports_serialize_monotonically(addr, stride, vl):
+    port = VectorCachePort(CacheHierarchy(HierarchyConfig()))
+    prev_end = 0
+    for k in range(3):
+        sched = port.schedule(
+            element_request(addr + 0x2000 * k, stride, vl), earliest=0)
+        assert sched.start >= prev_end
+        prev_end = sched.start + sched.busy_cycles
+
+
+@given(addrs, strides, vls)
+@settings(max_examples=40)
+def test_stats_accumulate_consistently(addr, stride, vl):
+    port = VectorCachePort(CacheHierarchy(HierarchyConfig()))
+    for k in range(3):
+        port.schedule(element_request(addr + 0x1000 * k, stride, vl), 0)
+    stats = port.stats
+    assert stats.requests == 3
+    assert stats.words == stats.words_loaded == 3 * vl
+    assert stats.hits + stats.misses >= stats.port_accesses
+    assert stats.effective_bandwidth == stats.words / stats.port_accesses

@@ -1,0 +1,46 @@
+"""3D register file structural model tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.regfile3d import RegFile3D, RegFile3DGeometry
+
+
+def test_paper_geometry_defaults():
+    geo = RegFile3DGeometry()
+    assert geo.register_bits == 16 * 128 * 8
+    assert geo.total_bits == 4 * 16 * 128 * 8
+    assert geo.element_words == 16
+    assert geo.slice_bandwidth_words == 4
+
+
+def test_move_occupancy():
+    geo = RegFile3DGeometry()
+    assert geo.move_occupancy(16) == 4
+    assert geo.move_occupancy(10) == 3
+    assert geo.move_occupancy(1) == 1
+
+
+def test_geometry_validation():
+    with pytest.raises(ConfigError):
+        RegFile3DGeometry(logical_registers=4, physical_registers=2)
+    with pytest.raises(ConfigError):
+        RegFile3DGeometry(elements=10, lanes=4)
+    with pytest.raises(ConfigError):
+        RegFile3DGeometry(element_bytes=100)
+
+
+def test_activity_accounting():
+    rf = RegFile3D()
+    rf.record_load(3)
+    rf.record_move()
+    rf.record_move(5)
+    assert rf.line_writes == 3
+    assert rf.slice_reads == 6
+    assert rf.accesses == 9
+
+
+def test_wider_elements_larger_area_input():
+    small = RegFile3DGeometry(element_bytes=64)
+    large = RegFile3DGeometry(element_bytes=256)
+    assert large.total_bits == 4 * small.total_bits

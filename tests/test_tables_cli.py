@@ -1,0 +1,78 @@
+"""Tests for the report tables and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness.tables import Table
+
+
+# --- Table -------------------------------------------------------------------
+
+
+def test_table_render_alignment():
+    table = Table(["name", "value"], title="T")
+    table.add_row("a", 1)
+    table.add_row("long-name", 2.5)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert lines[2].startswith("---")
+    assert len({len(line) for line in lines[1:3]}) == 1  # aligned
+
+
+def test_table_float_formatting():
+    table = Table(["x"])
+    table.add_row(1.23456)
+    assert "1.23" in table.render()
+    assert "1.2345" not in table.render()
+
+
+def test_table_column_and_cell():
+    table = Table(["bench", "a", "b"])
+    table.add_row("x", 1, 2)
+    table.add_row("y", 3, 4)
+    assert table.column("a") == [1, 3]
+    assert table.cell("y", "b") == 4
+    with pytest.raises(KeyError):
+        table.cell("z", "b")
+    with pytest.raises(ValueError):
+        table.column("missing")
+
+
+# --- CLI --------------------------------------------------------------------
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig9" in out and "table3" in out
+    assert "mpeg2_encode" in out
+
+
+def test_cli_run_table3(capsys):
+    assert main(["run", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "2826240" in out and "exact" in out
+
+
+def test_cli_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 1
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_bench(capsys):
+    assert main(["bench", "gsm_encode", "--coding", "mom3d"]) == 0
+    out = capsys.readouterr().out
+    assert "L2 activity" in out
+    assert "gsm_encode" in out
+
+
+def test_cli_bench_rejects_bad_name():
+    with pytest.raises(SystemExit):
+        main(["bench", "not_a_benchmark"])
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

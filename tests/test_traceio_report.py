@@ -1,0 +1,65 @@
+"""Trace save/replay and report-generation tests."""
+
+import numpy as np
+
+from repro.cli import main
+from repro.harness.traceio import export_workload, load_trace, save_trace
+from repro.timing import mom3d_processor, simulate, vector_memsys
+from repro.workloads import get_benchmark
+
+
+def test_trace_roundtrip_preserves_timing(tmp_path):
+    """A replayed trace must time identically to the original."""
+    workload = get_benchmark("gsm_encode").build("mom3d")
+    path = tmp_path / "gsm.trace"
+    save_trace(workload.program, path)
+    replayed = load_trace(path)
+    assert replayed.name == workload.program.name
+    assert len(replayed) == len(workload.program)
+    original = simulate(workload.program, mom3d_processor(),
+                        vector_memsys())
+    again = simulate(replayed, mom3d_processor(), vector_memsys())
+    assert again.cycles == original.cycles
+    assert again.l2_activity == original.l2_activity
+
+
+def test_trace_roundtrip_preserves_semantics(tmp_path):
+    """A replayed trace executes to the same memory contents."""
+    workload = get_benchmark("mpeg2_decode").build("mom")
+    path = tmp_path / "m2d.trace"
+    save_trace(workload.program, path)
+    replayed = load_trace(path)
+
+    from repro.vm import Executor, FlatMemory
+    mem_a = FlatMemory(workload.memory.size)
+    mem_a.data[:] = workload.memory.data
+    mem_b = FlatMemory(workload.memory.size)
+    mem_b.data[:] = workload.memory.data
+    Executor(mem_a).run(workload.program)
+    Executor(mem_b).run(replayed)
+    assert np.array_equal(mem_a.data, mem_b.data)
+
+
+def test_export_workload(tmp_path):
+    path = tmp_path / "w.trace"
+    nbytes = export_workload("gsm_encode", "mom", path)
+    assert path.stat().st_size == nbytes > 1000
+
+
+def test_cli_trace_and_replay(tmp_path, capsys):
+    path = tmp_path / "t.trace"
+    assert main(["trace", "gsm_encode", "mom3d", "-o", str(path)]) == 0
+    assert main(["replay", str(path), "--coding", "mom3d"]) == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out
+
+
+def test_cli_report(tmp_path, capsys):
+    path = tmp_path / "results.md"
+    assert main(["report", "-o", str(path)]) == 0
+    text = path.read_text()
+    assert "## fig9" in text
+    assert "## table3" in text
+    assert "2826240" in text
+    # markdown tables present
+    assert text.count("|---") >= 8

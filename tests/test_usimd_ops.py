@@ -1,0 +1,192 @@
+"""Unit + property tests for packed uSIMD semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import ElemType
+from repro.vm import usimd_ops as ops
+
+
+def pack_u8(*lanes):
+    return np.array(lanes, dtype=np.uint8).view(np.uint64)
+
+
+def pack_i16(*lanes):
+    return np.array(lanes, dtype=np.int16).view(np.uint64)
+
+
+def unpack_u8(words):
+    return np.asarray(words, dtype=np.uint64).view(np.uint8)
+
+
+def unpack_i16(words):
+    return np.asarray(words, dtype=np.uint64).view(np.int16)
+
+
+def unpack_i32(words):
+    return np.asarray(words, dtype=np.uint64).view(np.int32)
+
+
+words_u64 = st.lists(
+    st.integers(0, (1 << 64) - 1), min_size=1, max_size=16
+).map(lambda xs: np.array(xs, dtype=np.uint64))
+
+
+# --- directed cases -------------------------------------------------------
+
+
+def test_paddb_wraps():
+    a = pack_u8(250, 1, 2, 3, 4, 5, 6, 7)
+    b = pack_u8(10, 1, 1, 1, 1, 1, 1, 1)
+    assert list(unpack_u8(ops.paddb(a, b))) == [4, 2, 3, 4, 5, 6, 7, 8]
+
+
+def test_paddusb_saturates():
+    a = pack_u8(250, 200, 0, 0, 0, 0, 0, 0)
+    b = pack_u8(10, 100, 0, 0, 0, 0, 0, 0)
+    assert list(unpack_u8(ops.paddusb(a, b))[:2]) == [255, 255]
+
+
+def test_psubusb_floors_at_zero():
+    a = pack_u8(5, 10, 0, 0, 0, 0, 0, 0)
+    b = pack_u8(10, 5, 0, 0, 0, 0, 0, 0)
+    assert list(unpack_u8(ops.psubusb(a, b))[:2]) == [0, 5]
+
+
+def test_paddsw_saturates_both_ways():
+    a = pack_i16(32000, -32000, 1, 2)
+    b = pack_i16(32000, -32000, 3, 4)
+    out = unpack_i16(ops.paddsw(a, b))
+    assert list(out) == [32767, -32768, 4, 6]
+
+
+def test_pavgb_rounds_up():
+    a = pack_u8(1, 2, 255, 0, 0, 0, 0, 0)
+    b = pack_u8(2, 2, 255, 1, 0, 0, 0, 0)
+    assert list(unpack_u8(ops.pavgb(a, b))[:4]) == [2, 2, 255, 1]
+
+
+def test_psadbw_sum_of_abs_diffs():
+    a = pack_u8(10, 0, 3, 4, 0, 0, 0, 250)
+    b = pack_u8(0, 10, 4, 3, 0, 0, 0, 0)
+    assert int(ops.psadbw(a, b)[0]) == 10 + 10 + 1 + 1 + 250
+
+
+def test_pmaddwd_pairs():
+    a = pack_i16(1, 2, 3, 4)
+    b = pack_i16(5, 6, 7, 8)
+    out = unpack_i32(ops.pmaddwd(a, b))
+    assert list(out) == [1 * 5 + 2 * 6, 3 * 7 + 4 * 8]
+
+
+def test_pmulhrs_rounding():
+    # 0.5 * 0.5 in Q15 = 0.25 -> 8192
+    a = pack_i16(16384, 0, 0, 0)
+    b = pack_i16(16384, 0, 0, 0)
+    assert unpack_i16(ops.pmulhrs(a, b))[0] == 8192
+
+
+def test_shifts():
+    a = pack_i16(-16, 16, 1, -1)
+    assert list(unpack_i16(ops.psraw(a, imm=2))) == [-4, 4, 0, -1]
+    assert list(unpack_i16(ops.psllw(a, imm=2))) == [-64, 64, 4, -4]
+
+
+def test_packssdw_saturates():
+    a = np.array([70000, -70000], dtype=np.int32).view(np.uint64)
+    b = np.array([1, -1], dtype=np.int32).view(np.uint64)
+    out = unpack_i16(ops.packssdw(a, b))
+    assert list(out) == [32767, -32768, 1, -1]
+
+
+def test_packuswb_clamps_to_u8():
+    a = pack_i16(-5, 300, 17, 255)
+    b = pack_i16(0, 1, 2, 3)
+    out = unpack_u8(ops.packuswb(a, b))
+    assert list(out) == [0, 255, 17, 255, 0, 1, 2, 3]
+
+
+def test_unpack_zero_extend():
+    a = pack_u8(1, 2, 3, 4, 250, 251, 252, 253)
+    lo = unpack_i16(ops.punpcklbz(a))
+    hi = unpack_i16(ops.punpckhbz(a))
+    assert list(lo) == [1, 2, 3, 4]
+    assert list(hi) == [250, 251, 252, 253]
+
+
+def test_splatlane():
+    a = pack_i16(11, 22, 33, 44)
+    assert list(unpack_i16(ops.splatlane(a, imm=2))) == [33, 33, 33, 33]
+
+
+# --- property tests -----------------------------------------------------------
+
+
+@given(words_u64, words_u64)
+@settings(max_examples=60)
+def test_psadbw_is_symmetric(a, b):
+    n = min(a.size, b.size)
+    a, b = a[:n], b[:n]
+    assert np.array_equal(ops.psadbw(a, b), ops.psadbw(b, a))
+
+
+@given(words_u64)
+@settings(max_examples=60)
+def test_psadbw_with_self_is_zero(a):
+    assert int(ops.psadbw(a, a).sum()) == 0
+
+
+@given(words_u64, words_u64)
+@settings(max_examples=60)
+def test_saturating_add_in_bounds(a, b):
+    n = min(a.size, b.size)
+    out = unpack_i16(ops.paddsw(a[:n], b[:n]))
+    assert out.min() >= ElemType.I16.min_value
+    assert out.max() <= ElemType.I16.max_value
+
+
+@given(words_u64, words_u64)
+@settings(max_examples=60)
+def test_pavgb_bounded_by_operands(a, b):
+    n = min(a.size, b.size)
+    la = unpack_u8(a[:n]).astype(int)
+    lb = unpack_u8(b[:n]).astype(int)
+    out = unpack_u8(ops.pavgb(a[:n], b[:n])).astype(int)
+    assert np.all(out >= np.minimum(la, lb))
+    assert np.all(out <= np.maximum(la, lb) + 1)
+
+
+@given(words_u64, words_u64)
+@settings(max_examples=60)
+def test_paddw_matches_int16_wraparound(a, b):
+    n = min(a.size, b.size)
+    expected = (unpack_i16(a[:n]).astype(np.int32)
+                + unpack_i16(b[:n])).astype(np.int16)
+    assert np.array_equal(unpack_i16(ops.paddw(a[:n], b[:n])), expected)
+
+
+@given(words_u64, words_u64)
+@settings(max_examples=60)
+def test_sad_reduce_equals_sum_of_psadbw(a, b):
+    n = min(a.size, b.size)
+    total = int(ops.psadbw(a[:n], b[:n]).sum())
+    assert ops.sad_reduce(a[:n], b[:n]) == total
+
+
+@given(words_u64, words_u64)
+@settings(max_examples=60)
+def test_madd_reduce_matches_wide_dot_product(a, b):
+    # The accumulator reduction must never wrap, unlike pmaddwd's packed
+    # int32 results (which wrap on the single -32768 * -32768 * 2 case).
+    n = min(a.size, b.size)
+    expected = int((unpack_i16(a[:n]).astype(np.int64)
+                    * unpack_i16(b[:n]).astype(np.int64)).sum())
+    assert ops.madd_reduce(a[:n], b[:n]) == expected
+
+
+def test_splatlane_rejects_bad_lane():
+    a = pack_i16(1, 2, 3, 4)
+    with pytest.raises(Exception):
+        ops.splatlane(a, imm=7)

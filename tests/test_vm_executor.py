@@ -1,0 +1,249 @@
+"""Functional-simulator tests: scalar ops, vector memory, 3D semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.isa import ElemType, Opcode, ProgramBuilder, acc, d3, r, v
+from repro.vm import Executor, FlatMemory, execute
+
+
+def make_mem(size=1 << 16):
+    return FlatMemory(size)
+
+
+# --- scalar ---------------------------------------------------------------
+
+
+def test_scalar_arithmetic():
+    b = ProgramBuilder()
+    b.li(r(1), 7)
+    b.li(r(2), 5)
+    b.add(r(3), r(1), r(2))
+    b.sub(r(4), r(1), r(2))
+    b.mul(r(5), r(1), r(2))
+    state = execute(b.program, make_mem())
+    assert state.read_scalar(r(3)) == 12
+    assert state.read_scalar(r(4)) == 2
+    assert state.read_scalar(r(5)) == 35
+
+
+def test_slt_and_cmov():
+    b = ProgramBuilder()
+    b.li(r(1), 3)
+    b.li(r(2), 9)
+    b.slt(r(3), r(1), r(2))  # 1
+    b.li(r(4), 111)
+    b.li(r(5), 42)
+    b.cmov(r(4), r(3), r(5))  # taken
+    b.slt(r(6), r(2), r(1))  # 0
+    b.li(r(7), 77)
+    b.cmov(r(7), r(6), r(5))  # not taken
+    state = execute(b.program, make_mem())
+    assert state.read_scalar(r(4)) == 42
+    assert state.read_scalar(r(7)) == 77
+
+
+def test_scalar_wraparound_signed():
+    b = ProgramBuilder()
+    b.li(r(1), (1 << 63) - 1)
+    b.addi(r(2), r(1), 1)
+    state = execute(b.program, make_mem())
+    assert state.read_scalar(r(2)) == -(1 << 63)
+
+
+def test_scalar_load_store():
+    b = ProgramBuilder()
+    b.li(r(1), 0xDEAD)
+    b.st(r(1), ea=0x800)
+    b.ld(r(2), ea=0x800)
+    state = execute(b.program, make_mem())
+    assert state.read_scalar(r(2)) == 0xDEAD
+
+
+# --- vector memory -----------------------------------------------------------
+
+
+def test_vld_strided_gather():
+    mem = make_mem()
+    rows = np.arange(64, dtype=np.uint8).reshape(8, 8)
+    # lay rows out 32 bytes apart (image row stride)
+    for i in range(8):
+        mem.write(0x1000 + 32 * i, rows[i].tobytes())
+    b = ProgramBuilder()
+    b.setvl(8)
+    b.vld(v(0), ea=0x1000, stride=32)
+    state = execute(b.program, mem)
+    words = state.read_vector(v(0), 8)
+    got = words.view(np.uint8).reshape(8, 8)
+    assert np.array_equal(got, rows)
+
+
+def test_vst_strided_scatter():
+    mem = make_mem()
+    b = ProgramBuilder()
+    b.setvl(4)
+    b.vld(v(0), ea=0x1000, stride=8)  # zeros
+    b.vbcast64(v(1), 0x0101010101010101)
+    b.vst(v(1), ea=0x2000, stride=100)
+    execute(b.program, mem)
+    for k in range(4):
+        assert mem.read_u64(0x2000 + 100 * k) == 0x0101010101010101
+    # gap untouched
+    assert mem.read_u64(0x2000 + 8) == 0
+
+
+def test_vld_respects_vl():
+    mem = make_mem()
+    mem.write_u64(0x100, 0xAA)
+    mem.write_u64(0x108, 0xBB)
+    b = ProgramBuilder()
+    b.setvl(1)
+    b.vld(v(2), ea=0x100, stride=8)
+    state = execute(b.program, mem)
+    assert int(state.vector[2, 0]) == 0xAA
+    assert int(state.vector[2, 1]) == 0  # untouched beyond VL
+
+
+# --- uSIMD through the executor ----------------------------------------------
+
+
+def test_mom_simd_applies_to_all_elements():
+    mem = make_mem()
+    data = np.arange(32, dtype=np.uint8)
+    mem.write(0x1000, data.tobytes())
+    b = ProgramBuilder()
+    b.setvl(4)
+    b.vld(v(0), ea=0x1000, stride=8)
+    b.simd(Opcode.PADDB, v(1), v(0), v(0), etype=ElemType.U8)
+    state = execute(b.program, mem)
+    got = state.read_vector(v(1), 4).view(np.uint8)
+    assert np.array_equal(got, (data.astype(np.int32) * 2).astype(np.uint8))
+
+
+def test_vpsadacc_accumulates_across_elements():
+    mem = make_mem()
+    a = np.full(32, 9, dtype=np.uint8)
+    bb = np.full(32, 4, dtype=np.uint8)
+    mem.write(0x1000, a.tobytes())
+    mem.write(0x2000, bb.tobytes())
+    b = ProgramBuilder()
+    b.setvl(4)
+    b.clracc(acc(0))
+    b.vld(v(0), ea=0x1000, stride=8)
+    b.vld(v(1), ea=0x2000, stride=8)
+    b.vpsadacc(acc(0), v(0), v(1))
+    b.vpsadacc(acc(0), v(0), v(1))  # accumulate twice
+    b.movacc(r(1), acc(0))
+    state = execute(b.program, mem)
+    assert state.read_scalar(r(1)) == 2 * 32 * 5
+
+
+def test_vpmaddacc():
+    mem = make_mem()
+    a = np.arange(16, dtype=np.int16)
+    bb = np.full(16, 3, dtype=np.int16)
+    mem.write(0x1000, a.tobytes())
+    mem.write(0x2000, bb.tobytes())
+    b = ProgramBuilder()
+    b.setvl(4)
+    b.clracc(acc(1))
+    b.vld(v(0), ea=0x1000, stride=8)
+    b.vld(v(1), ea=0x2000, stride=8)
+    b.vpmaddacc(acc(1), v(0), v(1))
+    b.movacc(r(1), acc(1))
+    state = execute(b.program, mem)
+    assert state.read_scalar(r(1)) == int((a.astype(int) * 3).sum())
+
+
+# --- 3D extension ----------------------------------------------------------------
+
+
+def test_dvload3_and_slices():
+    mem = make_mem()
+    # 4 rows of 24 bytes, 100 bytes apart
+    rows = np.arange(4 * 24, dtype=np.uint8).reshape(4, 24)
+    for i in range(4):
+        mem.write(0x3000 + 100 * i, rows[i].tobytes())
+    b = ProgramBuilder()
+    b.setvl(4)
+    b.dvload3(d3(0), ea=0x3000, stride=100, wwords=3)
+    b.dvmov3(v(0), d3(0), pstride=1)  # slice at offset 0
+    b.dvmov3(v(1), d3(0), pstride=1)  # slice at offset 1
+    state = execute(b.program, mem)
+    s0 = state.read_vector(v(0), 4).view(np.uint8).reshape(4, 8)
+    s1 = state.read_vector(v(1), 4).view(np.uint8).reshape(4, 8)
+    assert np.array_equal(s0, rows[:, 0:8])
+    assert np.array_equal(s1, rows[:, 1:9])
+
+
+def test_dvload3_backward_flag():
+    mem = make_mem()
+    rows = np.arange(2 * 16, dtype=np.uint8).reshape(2, 16)
+    for i in range(2):
+        mem.write(0x3000 + 64 * i, rows[i].tobytes())
+    b = ProgramBuilder()
+    b.setvl(2)
+    b.dvload3(d3(1), ea=0x3000, stride=64, wwords=2, back=True)
+    b.dvmov3(v(0), d3(1), pstride=-1)  # last aligned slice
+    b.dvmov3(v(1), d3(1), pstride=-1)  # one byte earlier
+    state = execute(b.program, mem)
+    s0 = state.read_vector(v(0), 2).view(np.uint8).reshape(2, 8)
+    s1 = state.read_vector(v(1), 2).view(np.uint8).reshape(2, 8)
+    assert np.array_equal(s0, rows[:, 8:16])
+    assert np.array_equal(s1, rows[:, 7:15])
+
+
+def test_dvmov3_pointer_overrun_rejected():
+    mem = make_mem()
+    b = ProgramBuilder()
+    b.setvl(2)
+    b.dvload3(d3(0), ea=0x3000, stride=32, wwords=1)
+    b.dvmov3(v(0), d3(0), pstride=8)  # ok, moves ptr to 8
+    b.dvmov3(v(1), d3(0), pstride=8)  # ptr 8 > width-8 -> error
+    ex = Executor(mem)
+    with pytest.raises(ExecutionError):
+        ex.run(b.program)
+
+
+@given(
+    st.integers(1, 8),  # vl
+    st.integers(2, 16),  # wwords
+    st.integers(0, 200),  # stride extra
+    st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_dvmov3_matches_flat_gather(vl, wwords, extra, data):
+    """Property: slicing a 3D register == gathering from flat memory."""
+    mem = make_mem()
+    width = wwords * 8
+    stride = width + extra
+    payload = np.random.RandomState(42).randint(
+        0, 256, size=vl * stride + width, dtype=np.uint32).astype(np.uint8)
+    mem.write(0x4000, payload.tobytes())
+    offset = data.draw(st.integers(0, width - 8))
+    b = ProgramBuilder()
+    b.setvl(vl)
+    b.dvload3(d3(0), ea=0x4000, stride=stride, wwords=wwords)
+    b.dvmov3(v(0), d3(0), pstride=offset)   # ptr 0 -> slice at 0
+    if offset <= width - 8:
+        b.dvmov3(v(1), d3(0), pstride=0)    # slice at `offset`
+    state = execute(b.program, mem)
+    for k in range(vl):
+        expect0 = mem.read_u64(0x4000 + k * stride)
+        assert int(state.vector[0, k]) == expect0
+        expect1 = mem.read_u64(0x4000 + k * stride + offset)
+        assert int(state.vector[1, k]) == expect1
+
+
+def test_exec_stats_counts():
+    b = ProgramBuilder()
+    b.li(r(0), 1)
+    b.li(r(1), 2)
+    b.add(r(2), r(0), r(1))
+    ex = Executor(make_mem())
+    ex.run(b.program)
+    assert ex.stats.instructions == 3
+    assert ex.stats.by_opcode[Opcode.LI] == 2

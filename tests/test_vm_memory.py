@@ -1,0 +1,83 @@
+"""Unit + property tests for FlatMemory and the Arena allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.vm import Arena, FlatMemory
+
+
+def test_u64_roundtrip():
+    mem = FlatMemory(1 << 12)
+    mem.write_u64(0x100, 0x1122334455667788)
+    assert mem.read_u64(0x100) == 0x1122334455667788
+
+
+def test_u64_little_endian():
+    mem = FlatMemory(1 << 12)
+    mem.write_u64(0, 0x0102030405060708)
+    assert list(mem.read(0, 8)) == [8, 7, 6, 5, 4, 3, 2, 1]
+
+
+def test_unaligned_u64_read():
+    mem = FlatMemory(1 << 12)
+    mem.write(0, bytes(range(16)))
+    assert mem.read_u64(3) == int.from_bytes(bytes(range(3, 11)), "little")
+
+
+def test_out_of_bounds_rejected():
+    mem = FlatMemory(64)
+    with pytest.raises(MemoryError_):
+        mem.read(60, 8)
+    with pytest.raises(MemoryError_):
+        mem.write_u64(-8, 0)
+
+
+def test_array_roundtrip():
+    mem = FlatMemory(1 << 12)
+    arr = np.arange(24, dtype=np.int16).reshape(4, 6)
+    mem.load_array(0x200, arr)
+    back = mem.read_array(0x200, (4, 6), np.int16)
+    assert np.array_equal(arr, back)
+
+
+def test_arena_alignment_and_contents():
+    mem = FlatMemory(1 << 12)
+    arena = Arena(mem, base=0x10)
+    a1 = arena.alloc(10, align=16)
+    a2 = arena.alloc(10, align=16)
+    assert a1 % 16 == 0 and a2 % 16 == 0
+    assert a2 >= a1 + 10
+
+
+def test_arena_alloc_array():
+    mem = FlatMemory(1 << 13)
+    arena = Arena(mem)
+    arr = np.arange(8, dtype=np.uint8)
+    addr = arena.alloc_array(arr)
+    assert list(mem.read(addr, 8)) == list(range(8))
+
+
+def test_arena_exhaustion():
+    mem = FlatMemory(256)
+    arena = Arena(mem, base=0)
+    with pytest.raises(MemoryError_):
+        arena.alloc(512)
+
+
+@given(st.integers(0, 1000), st.integers(0, (1 << 64) - 1))
+@settings(max_examples=50)
+def test_u64_roundtrip_property(offset, value):
+    mem = FlatMemory(4096)
+    mem.write_u64(offset, value)
+    assert mem.read_u64(offset) == value
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 100))
+@settings(max_examples=50)
+def test_write_read_bytes_property(blob, addr):
+    mem = FlatMemory(1024)
+    mem.write(addr, blob)
+    assert bytes(mem.read(addr, len(blob))) == blob

@@ -1,0 +1,49 @@
+"""Warm-vs-cold simulation: the steady-state modeling choice (DESIGN §5)."""
+
+import pytest
+
+from repro.timing import (
+    Pipeline,
+    mom_processor,
+    simulate,
+    vector_memsys,
+)
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def program():
+    return get_benchmark("gsm_encode").build("mom").program
+
+
+def test_cold_never_faster_than_warm(program):
+    warm = simulate(program, mom_processor(), vector_memsys(), warm=True)
+    cold = simulate(program, mom_processor(), vector_memsys(), warm=False)
+    assert cold.cycles >= warm.cycles
+
+
+def test_warm_run_has_high_hit_rate(program):
+    warm = simulate(program, mom_processor(), vector_memsys(), warm=True)
+    assert warm.l2_hit_rate > 0.95  # paper: 90-99%
+
+
+def test_cold_run_pays_compulsory_misses(program):
+    cold = simulate(program, mom_processor(), vector_memsys(), warm=False)
+    assert cold.vector_port.misses > 0
+
+
+def test_priming_resets_counters(program):
+    pipeline = Pipeline(mom_processor(), vector_memsys())
+    pipeline.prime_caches(program)
+    assert pipeline.hierarchy.l2.stats.accesses == 0
+    assert pipeline.hierarchy.mainmem.line_fetches == 0
+    # contents survived the counter reset
+    first_load = next(i for i in program if i.is_memory)
+    assert pipeline.hierarchy.l2.probe(first_load.ea)
+
+
+def test_activity_counts_independent_of_warmth(program):
+    warm = simulate(program, mom_processor(), vector_memsys(), warm=True)
+    cold = simulate(program, mom_processor(), vector_memsys(), warm=False)
+    assert warm.l2_activity == cold.l2_activity
+    assert warm.cache_words == cold.cache_words
