@@ -7,25 +7,29 @@ registers, 16 x 128-byte elements):
   in flight and therefore how much load latency double-buffering hides;
 * element width, which bounds the slab a single ``dvload3`` can cover
   (the area model shows what each option costs).
+
+The timing sweep is declared with :class:`repro.engine.Sweep` and
+resolved through the engine, so the points land in the shared result
+cache (and fan out across processes under ``run_many(jobs=N)``).
 """
 
-from dataclasses import replace
-
+from repro.engine import Sweep, axes_product, run_many
 from repro.harness.tables import Table
 from repro.models import rf_area_tracks
 from repro.regfile3d import RegFile3DGeometry
-from repro.timing import mom3d_processor, simulate, vector_memsys
-from repro.workloads import get_benchmark
+
+DEPTHS = (1, 2, 4, 8)
 
 
-def run_depth_sweep():
-    program = get_benchmark("mpeg2_encode").build("mom3d").program
+def run_depth_sweep(jobs: int = 1):
+    sweep = Sweep(benchmarks=("mpeg2_encode",), codings=("mom3d",),
+                  overrides=axes_product(extra_d3_regs=DEPTHS))
+    results = run_many(sweep.specs(), jobs=jobs)
     table = Table(["extra phys regs", "cycles"],
                   title="3D RF rename-depth ablation (mpeg2_encode)")
-    for extra in (1, 2, 4, 8):
-        proc = replace(mom3d_processor(), extra_d3_regs=extra)
-        table.add_row(extra, simulate(program, proc,
-                                      vector_memsys()).cycles)
+    for spec in sweep.specs():
+        table.add_row(dict(spec.overrides)["extra_d3_regs"],
+                      results[spec].cycles)
     return table
 
 

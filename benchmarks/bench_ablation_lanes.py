@@ -4,27 +4,31 @@ Sweeps the number of lanes of the single MOM SIMD unit (and of the 3D
 RF slice path), showing the compute-side scaling that motivates the
 4-lane choice: below 4 lanes the SIMD unit, not the memory system,
 bounds the media kernels.
+
+Declared as an engine sweep: each lane count is one override point of
+the grid, resolved (and cached) through :func:`repro.engine.run_many`.
 """
 
-from dataclasses import replace
-
+from repro.engine import Sweep, run_many
 from repro.harness.tables import Table
-from repro.timing import mom3d_processor, simulate, vector_memsys
-from repro.workloads import get_benchmark
+
+LANES = (1, 2, 4, 8)
 
 
-def run_lane_sweep():
-    program = get_benchmark("mpeg2_encode").build("mom3d").program
+def run_lane_sweep(jobs: int = 1):
+    sweep = Sweep(
+        benchmarks=("mpeg2_encode",), codings=("mom3d",),
+        overrides=[{"simd_lanes": n, "d3_move_lanes": n} for n in LANES])
+    results = run_many(sweep.specs(), jobs=jobs)
     table = Table(["lanes", "cycles", "speedup vs 1 lane"],
                   title="MOM SIMD lane-count ablation (mpeg2_encode, "
                         "MOM+3D, vector cache)")
     base = None
-    for lanes in (1, 2, 4, 8):
-        proc = replace(mom3d_processor(), simd_lanes=lanes,
-                       d3_move_lanes=lanes)
-        cycles = simulate(program, proc, vector_memsys()).cycles
+    for spec in sweep.specs():
+        cycles = results[spec].cycles
         base = cycles if base is None else base
-        table.add_row(lanes, cycles, base / cycles)
+        table.add_row(dict(spec.overrides)["simd_lanes"], cycles,
+                      base / cycles)
     return table
 
 

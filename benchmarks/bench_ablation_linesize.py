@@ -4,27 +4,28 @@ The paper builds the vector memory system over the L2 partly because
 its 128-byte lines make whole-line 3D fetches wide (Sec. 5.3).  This
 sweep shows effective bandwidth and L2 activity as the line shrinks
 or grows around that design point.
+
+The grid is an engine sweep over the ``l2_line`` hierarchy override,
+resolved (and cached) through :func:`repro.engine.run_many`.
 """
 
-from dataclasses import replace
-
+from repro.engine import Sweep, axes_product, run_many
 from repro.harness.tables import Table
-from repro.memsys import HierarchyConfig
-from repro.timing import MemSysConfig, mom3d_processor, simulate
-from repro.workloads import get_benchmark
+
+LINE_BYTES = (64, 128, 256)
 
 
-def run_line_sweep():
-    program = get_benchmark("gsm_encode").build("mom3d").program
+def run_line_sweep(jobs: int = 1):
+    sweep = Sweep(benchmarks=("gsm_encode",), codings=("mom3d",),
+                  overrides=axes_product(l2_line=LINE_BYTES))
+    results = run_many(sweep.specs(), jobs=jobs)
     table = Table(["line bytes", "eff bw (w/acc)", "L2 activity",
                    "cycles"],
                   title="L2 line-size ablation (gsm_encode, MOM+3D)")
-    for line in (64, 128, 256):
-        memsys = MemSysConfig(
-            name=f"vector-line{line}", kind="vector",
-            hierarchy=HierarchyConfig(l2_line=line))
-        stats = simulate(program, mom3d_processor(), memsys)
-        table.add_row(line, stats.effective_bandwidth, stats.l2_activity,
+    for spec in sweep.specs():
+        stats = results[spec]
+        table.add_row(dict(spec.overrides)["l2_line"],
+                      stats.effective_bandwidth, stats.l2_activity,
                       stats.cycles)
     return table
 

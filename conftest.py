@@ -1,0 +1,20 @@
+"""Repo-wide pytest configuration.
+
+Point the engine's persistent result cache at a per-session temporary
+directory: a plain ``pytest`` run must neither read nor mutate the
+user's ``~/.cache/repro``, and the ablation benchmarks must keep
+timing real simulations rather than warm-cache JSON loads on reruns.
+Tests that want a specific cache location pass ``cache_dir``
+explicitly and are unaffected.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_repro_cache(tmp_path_factory):
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv("REPRO_CACHE_DIR",
+                   str(tmp_path_factory.mktemp("repro-cache")))
+    yield
+    patcher.undo()

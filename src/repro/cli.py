@@ -5,13 +5,26 @@ Subcommands:
 * ``list`` — show available experiments and benchmarks.
 * ``run <experiment-id> [...]`` — run specific experiments (e.g.
   ``fig9 table4``) and print the paper-style tables.
-* ``all`` — run the full evaluation suite.
+* ``all`` / ``tables`` — run the full evaluation suite.
 * ``bench <name> [--coding C] [--memsys M]`` — simulate one benchmark
   configuration and print its statistics.
+* ``sweep`` — expand a declarative grid (benchmarks x codings x memory
+  systems x latencies x ``--set`` overrides) and print one row per
+  simulation point.
 * ``report -o results.md`` — regenerate the full measured-results
   document.
 * ``trace <name> <coding> -o trace.bin`` / ``replay trace.bin`` — save
   a workload's instruction trace (ATOM-style) and re-time it later.
+
+Engine flags (accepted before or after the subcommand):
+
+* ``--jobs N`` — shard uncached simulations across N worker processes.
+* ``--cache-dir DIR`` — persistent result-cache location (default
+  ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+* ``--no-cache`` — disable the persistent cache for this invocation.
+
+Commands that simulate print an ``[engine] simulations=...`` summary
+line to stderr; a warm-cache rerun reports ``simulations=0``.
 """
 
 from __future__ import annotations
@@ -19,8 +32,19 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.engine.keys import MEMSYS_KINDS as _MEMSYS_CHOICES
+from repro.errors import ConfigError
 from repro.harness import EXPERIMENTS, Runner, run_all
 from repro.workloads import CODINGS, benchmark_names
+
+
+def _make_runner(args) -> Runner:
+    return Runner(seed=args.seed, jobs=args.jobs,
+                  cache_dir=args.cache_dir, use_cache=not args.no_cache)
+
+
+def _print_engine_summary(runner: Runner) -> None:
+    print(f"[engine] {runner.engine.stats.summary()}", file=sys.stderr)
 
 
 def _cmd_list(_args) -> int:
@@ -36,27 +60,30 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    runner = Runner(seed=args.seed)
     unknown = [e for e in args.experiments if e not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}",
               file=sys.stderr)
         return 1
+    runner = _make_runner(args)
     for exp_id in args.experiments:
         print(EXPERIMENTS[exp_id](runner).render())
         print()
+    _print_engine_summary(runner)
     return 0
 
 
 def _cmd_all(args) -> int:
-    for result in run_all(Runner(seed=args.seed)):
+    runner = _make_runner(args)
+    for result in run_all(runner):
         print(result.render())
         print()
+    _print_engine_summary(runner)
     return 0
 
 
 def _cmd_bench(args) -> int:
-    runner = Runner(seed=args.seed)
+    runner = _make_runner(args)
     stats = runner.run(args.name, args.coding, args.memsys,
                        args.l2_latency)
     print(stats.summary())
@@ -67,14 +94,77 @@ def _cmd_bench(args) -> int:
     veclen = stats.veclen
     print(f"  vector length dims: {veclen.dim1:.1f} / {veclen.dim2:.1f}"
           f" / {veclen.dim3:.1f} (max {veclen.max_slices_per_load})")
+    _print_engine_summary(runner)
+    return 0
+
+
+def _parse_set(value: str) -> tuple[str, list]:
+    """Parse one ``--set field=v1,v2,...`` axis definition.
+
+    Every overridable config field is numeric, so non-numeric tokens
+    are rejected up front (they would otherwise surface much later as
+    a mid-simulation type error).
+    """
+    if "=" not in value:
+        raise argparse.ArgumentTypeError(
+            f"--set expects FIELD=VALUE[,VALUE...], got {value!r}")
+    name, _, raw = value.partition("=")
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        try:
+            values.append(int(token))
+        except ValueError:
+            try:
+                values.append(float(token))
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"--set {name}: {token!r} is not a number") from None
+    if not values:
+        raise argparse.ArgumentTypeError(f"--set {name} has no values")
+    return name.strip(), values
+
+
+def _merge_set_axes(axes: list[tuple[str, list]]) -> dict[str, list]:
+    """Combine repeated ``--set`` flags; same field extends its axis."""
+    merged: dict[str, list] = {}
+    for name, values in axes:
+        bucket = merged.setdefault(name, [])
+        bucket.extend(v for v in values if v not in bucket)
+    return merged
+
+
+def _cmd_sweep(args) -> int:
+    from repro.engine import Sweep, axes_product
+    from repro.harness.tables import Table
+
+    overrides = (axes_product(**_merge_set_axes(args.set))
+                 if args.set else [{}])
+    sweep = Sweep(benchmarks=args.benchmarks, codings=args.codings,
+                  memsystems=args.memsys, l2_latencies=args.l2_latency,
+                  overrides=overrides, warm=not args.cold,
+                  seed=args.seed)
+    runner = _make_runner(args)
+    results = runner.engine.run_many(sweep.specs())
+    table = Table(["spec", "cycles", "IPC", "eff bw", "L2 activity",
+                   "words"],
+                  title=f"sweep over {len(results)} configurations")
+    for spec, stats in results.items():
+        table.add_row(spec.label(), stats.cycles, stats.ipc,
+                      stats.effective_bandwidth, stats.l2_activity,
+                      stats.cache_words)
+    print(table.render())
+    _print_engine_summary(runner)
     return 0
 
 
 def _cmd_report(args) -> int:
     from repro.harness.report import write_report
 
-    write_report(args.output, Runner(seed=args.seed))
+    runner = _make_runner(args)
+    write_report(args.output, runner)
     print(f"wrote {args.output}")
+    _print_engine_summary(runner)
     return 0
 
 
@@ -88,60 +178,116 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_replay(args) -> int:
+    from repro.engine import build_memsys, build_processor
     from repro.harness.traceio import load_trace
     from repro.timing import simulate
-    from repro.harness.runner import Runner as _R
 
     program = load_trace(args.trace)
-    stats = simulate(program, _R._processor(args.coding),
-                     _R._memsys(args.memsys, args.l2_latency))
+    stats = simulate(program, build_processor(args.coding),
+                     build_memsys(args.memsys, args.l2_latency))
     print(stats.summary())
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    # Engine/runner flags are attached twice: once to the main parser
+    # (with real defaults, so they work before the subcommand) and once
+    # to every subparser via this parent (with SUPPRESS defaults, so
+    # ``repro tables --jobs 4`` works without clobbering the former).
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("engine options")
+    group.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                       help="workload generation seed (default 0)")
+    group.add_argument("--jobs", "-j", type=int,
+                       default=argparse.SUPPRESS, metavar="N",
+                       help="worker processes for uncached simulations "
+                            "(default 1 = serial)")
+    group.add_argument("--cache-dir", default=argparse.SUPPRESS,
+                       metavar="DIR",
+                       help="persistent result-cache directory (default "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    group.add_argument("--no-cache", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help="disable the persistent result cache")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of '3D Memory Vectorization for High "
                     "Bandwidth Media Memory Systems' (MICRO-35, 2002)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", "-j", type=int, default=1)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--no-cache", action="store_true", default=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list experiments and benchmarks")
+    sub.add_parser("list", help="list experiments and benchmarks",
+                   parents=[common])
 
-    p_run = sub.add_parser("run", help="run specific experiments")
+    p_run = sub.add_parser("run", help="run specific experiments",
+                           parents=[common])
     p_run.add_argument("experiments", nargs="+")
 
-    sub.add_parser("all", help="run the full evaluation suite")
+    sub.add_parser("all", help="run the full evaluation suite",
+                   parents=[common])
+    sub.add_parser("tables",
+                   help="run the full evaluation suite (alias of 'all')",
+                   parents=[common])
 
-    p_bench = sub.add_parser("bench", help="simulate one benchmark")
+    p_bench = sub.add_parser("bench", help="simulate one benchmark",
+                             parents=[common])
     p_bench.add_argument("name", choices=benchmark_names())
     p_bench.add_argument("--coding", default="mom3d", choices=CODINGS)
     p_bench.add_argument("--memsys", default="vector",
-                         choices=("ideal", "vector", "multibank"))
+                         choices=_MEMSYS_CHOICES)
     p_bench.add_argument("--l2-latency", type=int, default=20)
 
-    p_report = sub.add_parser("report",
+    p_sweep = sub.add_parser(
+        "sweep", parents=[common],
+        help="simulate a declarative grid of configurations")
+    p_sweep.add_argument("-b", "--benchmarks", nargs="+",
+                         default=benchmark_names(),
+                         choices=benchmark_names())
+    p_sweep.add_argument("-c", "--codings", nargs="+",
+                         default=["mom3d"], choices=CODINGS)
+    p_sweep.add_argument("-m", "--memsys", nargs="+",
+                         default=["vector"], choices=_MEMSYS_CHOICES)
+    p_sweep.add_argument("-l", "--l2-latency", nargs="+", type=int,
+                         default=[20], metavar="CYCLES")
+    p_sweep.add_argument("--cold", action="store_true",
+                         help="simulate with cold caches (no priming)")
+    p_sweep.add_argument("--set", action="append", type=_parse_set,
+                         metavar="FIELD=V1[,V2...]",
+                         help="override axis; repeatable, axes combine "
+                              "as a cartesian product")
+
+    p_report = sub.add_parser("report", parents=[common],
                               help="write the measured-results markdown")
     p_report.add_argument("-o", "--output", default="results.md")
 
-    p_trace = sub.add_parser("trace", help="export a workload trace")
+    p_trace = sub.add_parser("trace", help="export a workload trace",
+                             parents=[common])
     p_trace.add_argument("name", choices=benchmark_names())
     p_trace.add_argument("coding", choices=CODINGS)
     p_trace.add_argument("-o", "--output", required=True)
 
-    p_replay = sub.add_parser("replay", help="re-time a saved trace")
+    p_replay = sub.add_parser("replay", help="re-time a saved trace",
+                              parents=[common])
     p_replay.add_argument("trace")
     p_replay.add_argument("--coding", default="mom3d", choices=CODINGS)
     p_replay.add_argument("--memsys", default="vector",
-                          choices=("ideal", "vector", "multibank"))
+                          choices=_MEMSYS_CHOICES)
     p_replay.add_argument("--l2-latency", type=int, default=20)
 
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
-                "bench": _cmd_bench, "report": _cmd_report,
+                "tables": _cmd_all, "bench": _cmd_bench,
+                "sweep": _cmd_sweep, "report": _cmd_report,
                 "trace": _cmd_trace, "replay": _cmd_replay}
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

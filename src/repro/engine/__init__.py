@@ -1,0 +1,159 @@
+"""Experiment orchestration engine.
+
+The engine owns everything between "a grid of run specifications" and
+"their statistics":
+
+* :mod:`repro.engine.keys` — frozen, hashable :class:`RunSpec` with a
+  stable content digest;
+* :mod:`repro.engine.cache` — persistent on-disk result store keyed by
+  spec digest + code version;
+* :mod:`repro.engine.parallel` — spec execution and
+  ``ProcessPoolExecutor`` fan-out;
+* :mod:`repro.engine.sweep` — declarative grid construction.
+
+:class:`Engine` ties them together with a three-level lookup per spec:
+in-process memo (identity-preserving), disk cache (equality-preserving)
+and fresh simulation (parallelizable).  ``repro.harness.Runner`` is a
+thin façade over an Engine; the CLI, experiments and ablation
+benchmarks all route through it.  See ``docs/engine.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.cache import ResultCache, code_version, default_cache_root
+from repro.engine.keys import RunSpec
+from repro.engine.parallel import (
+    build_configs,
+    build_memsys,
+    build_processor,
+    build_workload,
+    execute_spec,
+    simulate_many,
+)
+from repro.engine.sweep import Sweep, axes_product
+from repro.timing.stats import RunStats
+from repro.workloads import BuiltWorkload
+
+
+@dataclass
+class EngineStats:
+    """What the engine did this session (the cache-hit evidence)."""
+
+    #: fresh simulations actually executed
+    simulations: int = 0
+    #: results served from the in-process memo
+    memo_hits: int = 0
+    #: results loaded from the persistent cache
+    disk_hits: int = 0
+    #: results written to the persistent cache
+    stores: int = 0
+
+    def summary(self) -> str:
+        return (f"simulations={self.simulations} "
+                f"disk-hits={self.disk_hits} memo-hits={self.memo_hits} "
+                f"stores={self.stores}")
+
+
+class Engine:
+    """Cache- and parallelism-backed simulation orchestrator."""
+
+    def __init__(self, seed: int = 0, jobs: int = 1,
+                 cache_dir=None, use_cache: bool = True):
+        self.seed = seed
+        self.jobs = jobs
+        self.cache: ResultCache | None = (
+            ResultCache(cache_dir) if use_cache else None)
+        self.stats = EngineStats()
+        self._memo: dict[RunSpec, RunStats] = {}
+
+    # -- spec construction -------------------------------------------------
+
+    def spec(self, benchmark: str, coding: str, memsys: str = "vector",
+             l2_latency: int = 20, warm: bool = True,
+             overrides=()) -> RunSpec:
+        """Build a RunSpec bound to this engine's seed."""
+        return RunSpec(benchmark=benchmark, coding=coding, memsys=memsys,
+                       l2_latency=l2_latency, warm=warm, seed=self.seed,
+                       overrides=overrides)
+
+    def workload(self, benchmark: str, coding: str) -> BuiltWorkload:
+        """The (memoized) built trace for one benchmark/coding pair."""
+        return build_workload(benchmark, coding, self.seed)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, spec: RunSpec) -> RunStats:
+        """Resolve one spec: memo, then disk cache, then simulation.
+
+        Repeated calls with an equal spec return the *same* object
+        (identity-preserving memoization, like the original Runner).
+        """
+        hit = self._lookup(spec)
+        if hit is not None:
+            return hit
+        stats = execute_spec(spec)
+        self.stats.simulations += 1
+        self._admit(spec, stats)
+        return stats
+
+    def run_many(self, specs, jobs: int | None = None
+                 ) -> dict[RunSpec, RunStats]:
+        """Resolve a whole grid, fanning uncached specs across workers.
+
+        Returns a dict keyed by spec covering every input (duplicates
+        collapse).  ``jobs`` defaults to the engine's setting.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        specs = list(dict.fromkeys(specs))  # dedupe, keep order
+        results: dict[RunSpec, RunStats] = {}
+        pending: list[RunSpec] = []
+        for spec in specs:
+            hit = self._lookup(spec)
+            if hit is not None:
+                results[spec] = hit
+            else:
+                pending.append(spec)
+        if pending:
+            fresh = simulate_many(pending, jobs=jobs)
+            self.stats.simulations += len(fresh)
+            for spec, stats in fresh.items():
+                self._admit(spec, stats)
+                results[spec] = stats
+        return {spec: results[spec] for spec in specs}
+
+    # -- internals ---------------------------------------------------------
+
+    def _lookup(self, spec: RunSpec) -> RunStats | None:
+        if spec in self._memo:
+            self.stats.memo_hits += 1
+            return self._memo[spec]
+        if self.cache is not None:
+            stats = self.cache.get(spec)
+            if stats is not None:
+                self.stats.disk_hits += 1
+                self._memo[spec] = stats
+                return stats
+        return None
+
+    def _admit(self, spec: RunSpec, stats: RunStats) -> None:
+        self._memo[spec] = stats
+        if self.cache is not None:
+            self.cache.put(spec, stats)
+            self.stats.stores += 1
+
+
+def run_many(specs, jobs: int = 1, cache_dir=None, use_cache: bool = True
+             ) -> dict[RunSpec, RunStats]:
+    """One-shot convenience: resolve a grid with an ephemeral Engine."""
+    engine = Engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    return engine.run_many(specs)
+
+
+__all__ = [
+    "Engine", "EngineStats", "ResultCache", "RunSpec", "Sweep",
+    "axes_product", "build_configs", "build_memsys", "build_processor",
+    "build_workload", "code_version", "default_cache_root",
+    "execute_spec", "run_many", "simulate_many",
+]

@@ -1,0 +1,125 @@
+"""Persistent, content-addressed result cache for simulation runs.
+
+Layout::
+
+    <cache root>/<code version>/<spec digest>.json
+
+* **cache root** — ``$REPRO_CACHE_DIR``, or ``~/.cache/repro`` when the
+  variable is unset; ``--cache-dir`` overrides both from the CLI.
+* **code version** — a hash over every ``repro`` source file (plus the
+  Python/numpy versions), so editing the simulator automatically
+  invalidates stale results instead of serving them.
+* **spec digest** — :meth:`repro.engine.keys.RunSpec.digest`.
+
+Each entry stores the spec (for inspection) and the run statistics in
+the lossless ``RunStats.to_dict`` form.  Writes go through a temp file
+and ``os.replace`` so concurrent workers never expose torn entries.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.engine.keys import RunSpec
+from repro.timing.stats import RunStats
+
+_ENTRY_SCHEMA = 1
+
+
+def default_cache_root() -> Path:
+    """Resolve the cache root from the environment."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Fingerprint of the simulator's source code.
+
+    Hashes every ``*.py`` file under the installed ``repro`` package in
+    a deterministic order, together with the interpreter and numpy
+    versions.  Any change to the simulation code yields a new cache
+    namespace.
+    """
+    import numpy
+
+    import repro
+
+    hasher = hashlib.sha256()
+    hasher.update(f"py{sys.version_info.major}.{sys.version_info.minor}"
+                  f";numpy{numpy.__version__};schema{_ENTRY_SCHEMA}"
+                  .encode())
+    root = Path(repro.__file__).resolve().parent
+    for path in sorted(root.rglob("*.py")):
+        hasher.update(str(path.relative_to(root)).encode())
+        hasher.update(path.read_bytes())
+    return hasher.hexdigest()[:16]
+
+
+class ResultCache:
+    """On-disk store of ``RunSpec.digest() -> RunStats`` entries.
+
+    Hit/miss/store accounting lives in the owning
+    :class:`~repro.engine.EngineStats`, not here.
+    """
+
+    def __init__(self, root: str | Path | None = None,
+                 version: str | None = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.version = version if version is not None else code_version()
+        self.dir = self.root / self.version
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.dir / f"{spec.digest()}.json"
+
+    def get(self, spec: RunSpec) -> RunStats | None:
+        """Load the cached stats for ``spec``, or None on a miss.
+
+        Unreadable/corrupt entries count as misses (they are simply
+        re-simulated and overwritten).
+        """
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            stats = RunStats.from_dict(payload["stats"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return stats
+
+    def put(self, spec: RunSpec, stats: RunStats) -> Path:
+        """Atomically persist one result."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": _ENTRY_SCHEMA,
+            "version": self.version,
+            "spec": spec.to_dict(),
+            "stats": stats.to_dict(),
+        }
+        path = self.path_for(spec)
+        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries stored for the current code version."""
+        if not self.dir.is_dir():
+            return 0
+        return sum(1 for _ in self.dir.glob("*.json"))

@@ -1,0 +1,214 @@
+"""Spec execution and process-parallel fan-out.
+
+This module owns the mapping from a :class:`~repro.engine.keys.RunSpec`
+to concrete simulator objects (processor config, memory system,
+workload trace) and the :func:`simulate_many` primitive that shards a
+list of specs across a ``ProcessPoolExecutor``.
+
+Workers ship results back as ``RunStats.to_dict`` payloads — the same
+lossless form the disk cache stores — so parallel execution is
+bit-identical to serial execution by construction (each simulation is
+deterministic and independent).  Each worker process memoizes built
+workloads, so a grid over many memory systems/latencies builds each
+``(benchmark, coding, seed)`` trace only once per worker.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import fields, replace
+from typing import get_type_hints
+
+from repro.engine.keys import RunSpec
+from repro.errors import ConfigError
+from repro.memsys.hierarchy import HierarchyConfig
+from repro.timing import (
+    MEMSYSTEMS,
+    MemSysConfig,
+    PROCESSORS,
+    ProcessorConfig,
+    RunStats,
+    simulate,
+)
+from repro.workloads import BuiltWorkload, get_benchmark
+
+#: Processor fields that may be overridden per spec.
+_PROC_FIELDS = frozenset(
+    f.name for f in fields(ProcessorConfig)) - {"name", "isa"}
+#: Hierarchy fields that may be overridden (the L2 latency is a spec
+#: axis, not an override, to keep every grid point uniquely keyed).
+_HIER_FIELDS = frozenset(
+    f.name for f in fields(HierarchyConfig)) - {"l2_latency"}
+#: Memory-system geometry fields that may be overridden.
+_MEMSYS_FIELDS = frozenset({"vc_width_words", "mb_ports", "mb_banks"})
+
+#: Declared type per overridable field (for value validation).
+_FIELD_TYPES = {
+    **{name: hint for name, hint in get_type_hints(ProcessorConfig).items()
+       if name in _PROC_FIELDS},
+    **{name: hint for name, hint in get_type_hints(HierarchyConfig).items()
+       if name in _HIER_FIELDS},
+    **{name: hint for name, hint in get_type_hints(MemSysConfig).items()
+       if name in _MEMSYS_FIELDS},
+}
+
+
+def _check_value(name: str, value) -> None:
+    """Reject override values that mismatch the field's declared type.
+
+    A float for an int field (``simd_lanes=2.5``) would otherwise
+    simulate a physically meaningless configuration without complaint.
+    """
+    declared = _FIELD_TYPES[name]
+    if declared is int:
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    elif declared is float:
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    elif declared is bool:
+        ok = isinstance(value, bool)
+    else:
+        ok = isinstance(value, declared)
+    if not ok:
+        raise ConfigError(
+            f"override {name}={value!r} must be of type "
+            f"{declared.__name__}")
+
+#: Per-process workload memo (shared by pool workers across tasks),
+#: LRU-bounded so long-lived hosts (e.g. an API server over the
+#: engine) don't accumulate traces without limit.  The cap comfortably
+#: holds one full evaluation grid (5 benchmarks x 3 codings).
+_WORKLOADS: OrderedDict[tuple[str, str, int], BuiltWorkload] = \
+    OrderedDict()
+_WORKLOAD_MEMO_LIMIT = 16
+
+
+def build_workload(benchmark: str, coding: str, seed: int = 0
+                   ) -> BuiltWorkload:
+    """Build (once per process, LRU-memoized) one benchmark trace."""
+    key = (benchmark, coding, seed)
+    if key in _WORKLOADS:
+        _WORKLOADS.move_to_end(key)
+        return _WORKLOADS[key]
+    built = get_benchmark(benchmark).build(coding, seed=seed)
+    _WORKLOADS[key] = built
+    while len(_WORKLOADS) > _WORKLOAD_MEMO_LIMIT:
+        _WORKLOADS.popitem(last=False)
+    return built
+
+
+def build_processor(coding: str) -> ProcessorConfig:
+    """Processor model for one coding name."""
+    try:
+        return PROCESSORS[coding]()
+    except KeyError:
+        raise ConfigError(f"unknown coding {coding!r}") from None
+
+
+def build_memsys(name: str, l2_latency: int = 20) -> MemSysConfig:
+    """Memory-system configuration for one design name."""
+    try:
+        factory = MEMSYSTEMS[name]
+    except KeyError:
+        raise ConfigError(f"unknown memory system {name!r}") from None
+    if name == "ideal":
+        return factory()
+    return factory(l2_latency)
+
+
+def _split_overrides(overrides) -> tuple[dict, dict, dict]:
+    """Partition override pairs into processor/hierarchy/memsys dicts."""
+    proc, hier, memsys = {}, {}, {}
+    for name, value in overrides:
+        if name in _PROC_FIELDS:
+            _check_value(name, value)
+            proc[name] = value
+        elif name in _HIER_FIELDS:
+            _check_value(name, value)
+            hier[name] = value
+        elif name in _MEMSYS_FIELDS:
+            _check_value(name, value)
+            memsys[name] = value
+        elif name == "l2_latency":
+            raise ConfigError(
+                "set l2_latency on the RunSpec itself, not as an override")
+        else:
+            raise ConfigError(
+                f"unknown override field {name!r}; expected a "
+                f"ProcessorConfig, HierarchyConfig or MemSysConfig field")
+    return proc, hier, memsys
+
+
+def build_configs(spec: RunSpec) -> tuple[ProcessorConfig, MemSysConfig]:
+    """Instantiate the processor and memory system a spec describes."""
+    proc_over, hier_over, ms_over = _split_overrides(spec.overrides)
+    proc = build_processor(spec.coding)
+    if proc_over:
+        proc = replace(proc, **proc_over)
+    memsys = build_memsys(spec.memsys, spec.l2_latency)
+    if hier_over:
+        memsys = replace(memsys,
+                         hierarchy=replace(memsys.hierarchy, **hier_over))
+    if ms_over:
+        memsys = replace(memsys, **ms_over)
+    return proc, memsys
+
+
+def execute_spec(spec: RunSpec) -> RunStats:
+    """Run one simulation point from scratch (no caching)."""
+    proc, memsys = build_configs(spec)
+    workload = build_workload(spec.benchmark, spec.coding, spec.seed)
+    return simulate(workload.program, proc, memsys, warm=spec.warm)
+
+
+def _worker(specs: tuple[RunSpec, ...]) -> list[dict]:
+    """Pool entry point: execute a shard, return plain-data stats.
+
+    A shard holds specs sharing one ``(benchmark, coding, seed)`` so
+    the (comparatively expensive) trace build happens once per shard.
+    """
+    return [execute_spec(spec).to_dict() for spec in specs]
+
+
+def _shard(specs: list[RunSpec], jobs: int) -> list[list[RunSpec]]:
+    """Partition specs into worker tasks.
+
+    Specs sharing a workload trace stay together (one build per task);
+    when that yields fewer tasks than workers, the largest shards split
+    until every worker has something to do.
+    """
+    groups: dict[tuple, list[RunSpec]] = {}
+    for spec in specs:
+        key = (spec.benchmark, spec.coding, spec.seed)
+        groups.setdefault(key, []).append(spec)
+    shards = list(groups.values())
+    while len(shards) < jobs:
+        biggest = max(shards, key=len)
+        if len(biggest) <= 1:
+            break
+        shards.remove(biggest)
+        mid = (len(biggest) + 1) // 2
+        shards.extend([biggest[:mid], biggest[mid:]])
+    return shards
+
+
+def simulate_many(specs: list[RunSpec], jobs: int = 1
+                  ) -> dict[RunSpec, RunStats]:
+    """Simulate every spec, fanning out across ``jobs`` processes.
+
+    ``jobs <= 1`` runs serially in-process.  Results are keyed by spec;
+    parallel results pass through the lossless dict form, so they
+    compare equal to serial ones.
+    """
+    specs = list(specs)
+    if jobs <= 1 or len(specs) <= 1:
+        return {spec: execute_spec(spec) for spec in specs}
+    shards = _shard(specs, jobs)
+    results: dict[RunSpec, RunStats] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(shards))) as pool:
+        futures = [(shard, pool.submit(_worker, tuple(shard)))
+                   for shard in shards]
+        for shard, future in futures:
+            for spec, payload in zip(shard, future.result()):
+                results[spec] = RunStats.from_dict(payload)
+    return results

@@ -3,18 +3,40 @@
 Each ``fig*``/``table*`` function takes a :class:`Runner` and returns
 an :class:`ExperimentResult` whose table holds our measured values,
 with the paper's reported values alongside where the paper states them.
+
+Every experiment declares its full simulation grid up front and
+pre-fetches it through the runner's engine (``Runner.prefetch``), so a
+``--jobs N`` invocation shards the grid across worker processes before
+any table cell is computed; the cell-by-cell ``runner.run`` calls that
+follow are pure memo hits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine import Sweep
 from repro.harness import paper
 from repro.harness.runner import Runner
 from repro.harness.tables import Table
 from repro.models import config_area, normalized_areas, run_power
 from repro.timing import mmx_processor, mom3d_processor, mom_processor
 from repro.workloads import benchmark_names
+
+
+def _prefetch(runner: Runner, *sweeps: Sweep) -> None:
+    """Resolve several sweeps' specs in one engine fan-out."""
+    runner.prefetch([spec for sweep in sweeps for spec in sweep.specs()])
+
+
+def _sweep(runner: Runner, codings, memsystems,
+           benchmarks=None, l2_latencies=(20,)) -> Sweep:
+    """Shorthand for a grid bound to this runner's seed."""
+    return Sweep(
+        benchmarks=tuple(benchmarks) if benchmarks is not None
+        else tuple(benchmark_names()),
+        codings=tuple(codings), memsystems=tuple(memsystems),
+        l2_latencies=tuple(l2_latencies), seed=runner.seed)
 
 
 @dataclass
@@ -35,6 +57,8 @@ class ExperimentResult:
 
 def fig3(runner: Runner) -> ExperimentResult:
     """Fig. 3 — slowdown of realistic MOM memory systems vs. ideal."""
+    _prefetch(runner, _sweep(runner, ("mom",),
+                             ("multibank", "vector", "ideal")))
     table = Table(["benchmark", "multibank", "vector-cache"])
     for bench in benchmark_names():
         table.add_row(bench,
@@ -52,6 +76,8 @@ def fig3(runner: Runner) -> ExperimentResult:
 
 def fig6(runner: Runner) -> ExperimentResult:
     """Fig. 6 — effective bandwidth in 64-bit words per cache access."""
+    _prefetch(runner, _sweep(runner, ("mom",), ("multibank", "vector")),
+              _sweep(runner, ("mom3d",), ("vector",)))
     table = Table(["benchmark", "multibank", "vector-cache", "vc+3D"])
     for bench in benchmark_names():
         table.add_row(
@@ -68,6 +94,7 @@ def fig6(runner: Runner) -> ExperimentResult:
 
 def fig7(runner: Runner) -> ExperimentResult:
     """Fig. 7 — vector-cache traffic reduction from 3D vectorization."""
+    _prefetch(runner, _sweep(runner, ("mom", "mom3d"), ("vector",)))
     table = Table(["benchmark", "MOM words", "MOM+3D words",
                    "reduction %"])
     for bench in benchmark_names():
@@ -82,6 +109,7 @@ def fig7(runner: Runner) -> ExperimentResult:
 
 def table1(runner: Runner) -> ExperimentResult:
     """Table 1 — memory-instruction vector length per dimension."""
+    _prefetch(runner, _sweep(runner, ("mom", "mom3d"), ("vector",)))
     table = Table(["benchmark", "mom 1st", "mom 2nd", "3d 1st", "3d 2nd",
                    "3d 3rd", "3d 3rd max", "paper 3rd (max)"])
     for bench in benchmark_names():
@@ -146,6 +174,8 @@ def table3(runner: Runner) -> ExperimentResult:
 
 def table4(runner: Runner) -> ExperimentResult:
     """Table 4 — L2 cache activity per memory-system design."""
+    _prefetch(runner, _sweep(runner, ("mom",), ("multibank", "vector")),
+              _sweep(runner, ("mom3d",), ("vector",)))
     table = Table(["benchmark", "multibank", "vector", "vc+3D",
                    "paper (M, mb/vc/3d)"])
     for bench in benchmark_names():
@@ -164,6 +194,10 @@ def table4(runner: Runner) -> ExperimentResult:
 
 def fig9(runner: Runner) -> ExperimentResult:
     """Fig. 9 — slowdown of every ISA/memory configuration."""
+    _prefetch(runner,
+              _sweep(runner, ("mmx",), ("multibank", "ideal")),
+              _sweep(runner, ("mom",), ("multibank", "vector", "ideal")),
+              _sweep(runner, ("mom3d",), ("vector",)))
     table = Table(["benchmark", "mmx-mb", "mmx-ideal", "mom-mb",
                    "mom-vc", "mom3d-vc"])
     for bench in benchmark_names():
@@ -193,6 +227,9 @@ def fig10(runner: Runner) -> ExperimentResult:
     # the paper shows four panels: mpeg2encode/decode, jpeg encode, gsm
     benches = ("mpeg2_encode", "mpeg2_decode", "jpeg_encode",
                "gsm_encode")
+    _prefetch(runner, _sweep(runner, ("mom", "mom3d"), ("vector",),
+                             benchmarks=benches,
+                             l2_latencies=(20, 40, 60)))
     table = Table(["benchmark", "coding", "lat 20", "lat 40", "lat 60"])
     for bench in benches:
         for coding in ("mom", "mom3d"):
@@ -215,6 +252,8 @@ def fig10(runner: Runner) -> ExperimentResult:
 
 def fig11(runner: Runner) -> ExperimentResult:
     """Fig. 11 — L2 + 3D RF average power per configuration."""
+    _prefetch(runner, _sweep(runner, ("mom",), ("multibank", "vector")),
+              _sweep(runner, ("mom3d",), ("vector",)))
     table = Table(["benchmark", "multibank W", "vector W", "vc+3D W",
                    "3D RF share W"])
     for bench in benchmark_names():

@@ -1,8 +1,15 @@
-"""Run statistics collected by the timing pipeline."""
+"""Run statistics collected by the timing pipeline.
+
+:class:`RunStats` (and every aggregate it contains) round-trips
+losslessly through ``to_dict``/``from_dict``: the engine's on-disk
+result cache and its worker processes ship statistics as plain JSON,
+and equality of the reconstructed object with the original is part of
+the engine test suite.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.isa.opcodes import ExecClass, Opcode
 from repro.memsys.ports import PortStats
@@ -64,6 +71,27 @@ class VecLenStats:
         """Average slices per 3D load (3rd dimension)."""
         return self.slices / self.loads3d if self.loads3d else 0.0
 
+    def to_dict(self) -> dict:
+        return {
+            "lane_sum": self.lane_sum, "lane_count": self.lane_count,
+            "vl_sum": self.vl_sum, "vl_count": self.vl_count,
+            "slices": self.slices, "loads3d": self.loads3d,
+            "max_slices_per_load": self.max_slices_per_load,
+            "current_slices": {str(k): v
+                               for k, v in self._current_slices.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VecLenStats":
+        out = cls(
+            lane_sum=data["lane_sum"], lane_count=data["lane_count"],
+            vl_sum=data["vl_sum"], vl_count=data["vl_count"],
+            slices=data["slices"], loads3d=data["loads3d"],
+            max_slices_per_load=data["max_slices_per_load"])
+        out._current_slices = {int(k): v
+                               for k, v in data["current_slices"].items()}
+        return out
+
 
 @dataclass
 class RunStats:
@@ -112,3 +140,49 @@ class RunStats:
                 f"{self.instructions} insts (IPC {self.ipc:.2f}), "
                 f"eff-bw {self.effective_bandwidth:.2f} w/acc, "
                 f"L2 activity {self.l2_activity}")
+
+    def to_dict(self) -> dict:
+        """Lossless plain-data form (JSON-serializable)."""
+        return {
+            "name": self.name,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "by_class": {k.value: v for k, v in self.by_class.items()},
+            "by_opcode": {k.value: v for k, v in self.by_opcode.items()},
+            "vector_port": _port_to_dict(self.vector_port),
+            "l1_port": _port_to_dict(self.l1_port),
+            "rf3d_words": self.rf3d_words,
+            "rf3d_reads": self.rf3d_reads,
+            "rf3d_writes": self.rf3d_writes,
+            "veclen": self.veclen.to_dict(),
+            "l2_hit_rate": self.l2_hit_rate,
+            "coherence_events": self.coherence_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunStats":
+        """Rebuild a RunStats equal to the one ``to_dict`` serialized."""
+        return cls(
+            name=data["name"],
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            by_class={ExecClass(k): v
+                      for k, v in data["by_class"].items()},
+            by_opcode={Opcode(k): v for k, v in data["by_opcode"].items()},
+            vector_port=_port_from_dict(data["vector_port"]),
+            l1_port=_port_from_dict(data["l1_port"]),
+            rf3d_words=data["rf3d_words"],
+            rf3d_reads=data["rf3d_reads"],
+            rf3d_writes=data["rf3d_writes"],
+            veclen=VecLenStats.from_dict(data["veclen"]),
+            l2_hit_rate=data["l2_hit_rate"],
+            coherence_events=data["coherence_events"],
+        )
+
+
+def _port_to_dict(port: PortStats) -> dict:
+    return {f.name: getattr(port, f.name) for f in fields(PortStats)}
+
+
+def _port_from_dict(data: dict) -> PortStats:
+    return PortStats(**data)

@@ -187,16 +187,13 @@ def _exec_vpmaddacc(ex: Executor, inst: Instruction) -> None:
 
 
 def _exec_vld(ex: Executor, inst: Instruction) -> None:
-    words = np.empty(inst.vl, dtype=np.uint64)
-    for k in range(inst.vl):
-        words[k] = ex.memory.read_u64(inst.ea + k * inst.stride)
+    words = ex.memory.read_words(inst.ea, inst.vl, inst.stride)
     ex.state.write_vector(inst.dsts[0], words, inst.vl)
 
 
 def _exec_vst(ex: Executor, inst: Instruction) -> None:
     words = ex.state.read_vector(inst.srcs[0], inst.vl)
-    for k in range(inst.vl):
-        ex.memory.write_u64(inst.ea + k * inst.stride, int(words[k]))
+    ex.memory.write_words(inst.ea, words, inst.stride)
 
 
 # --- 3D extension -----------------------------------------------------------------
@@ -207,9 +204,9 @@ def _exec_dvload3(ex: Executor, inst: Instruction) -> None:
     if width > D3_ELEM_BYTES:
         raise ExecutionError("dvload3: element wider than 128 bytes")
     dst = inst.dsts[0]
-    for k in range(inst.vl):
-        row = ex.state.d3_row(dst, k)
-        row[:width] = ex.memory.read(inst.ea + k * inst.stride, width)
+    ex.state.d3_row(dst, 0)  # validates the register class
+    block = ex.memory.read_block(inst.ea, inst.vl, inst.stride, width)
+    ex.state.d3[dst.index, :inst.vl, :width] = block
     ex.state.d3_width[dst.index] = width
     ex.state.d3_pointer[dst.index] = (width - 8) if inst.back else 0
 

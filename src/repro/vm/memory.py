@@ -53,6 +53,61 @@ class FlatMemory:
             (value & 0xFFFF_FFFF_FFFF_FFFF).to_bytes(8, "little"),
             dtype=np.uint8)
 
+    def _check_span(self, addr: int, count: int, stride: int,
+                    width: int) -> None:
+        """Bounds-check a strided reference stream of ``count`` elements."""
+        lo = addr + min(0, (count - 1) * stride)
+        hi = addr + max(0, (count - 1) * stride) + width
+        self._check(lo, hi - lo)
+
+    def read_words(self, addr: int, count: int, stride: int) -> np.ndarray:
+        """Gather ``count`` little-endian 64-bit words, ``stride`` bytes
+        apart.  The result may be a view for contiguous aligned reads —
+        copy before holding it across writes."""
+        if count <= 0:
+            return np.empty(0, dtype=np.uint64)
+        self._check_span(addr, count, stride, 8)
+        if stride == 8:
+            chunk = self.data[addr:addr + 8 * count]
+            if addr % 8:
+                chunk = chunk.copy()
+            return chunk.view(np.uint64)
+        offsets = addr + stride * np.arange(count).reshape(-1, 1)
+        return self.data[offsets + np.arange(8)].view(np.uint64).ravel()
+
+    def write_words(self, addr: int, words: np.ndarray,
+                    stride: int) -> None:
+        """Scatter 64-bit words ``stride`` bytes apart (little-endian)."""
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        count = words.size
+        if count == 0:
+            return
+        self._check_span(addr, count, stride, 8)
+        raw = words.view(np.uint8)
+        if stride == 8:
+            self.data[addr:addr + 8 * count] = raw
+        elif stride >= 8 or count == 1:
+            offsets = addr + stride * np.arange(count).reshape(-1, 1)
+            self.data[offsets + np.arange(8)] = raw.reshape(count, 8)
+        else:
+            # overlapping stores: keep sequential (last-writer) semantics
+            for k in range(count):
+                base = addr + k * stride
+                self.data[base:base + 8] = raw[8 * k:8 * k + 8]
+
+    def read_block(self, addr: int, count: int, stride: int,
+                   width: int) -> np.ndarray:
+        """Gather ``count`` rows of ``width`` bytes, ``stride`` apart.
+
+        Returns a fresh ``(count, width)`` uint8 array — the bulk
+        datapath of ``dvload3``.
+        """
+        if count <= 0 or width <= 0:
+            return np.empty((max(count, 0), max(width, 0)), dtype=np.uint8)
+        self._check_span(addr, count, stride, width)
+        offsets = addr + stride * np.arange(count).reshape(-1, 1)
+        return self.data[offsets + np.arange(width)]
+
     def load_array(self, addr: int, array: np.ndarray) -> None:
         """Copy a numpy array's bytes into memory at ``addr``."""
         raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
