@@ -1,0 +1,76 @@
+"""Perf regression guard: batched vs reference timing pipeline.
+
+Times a *cold* fig3 column — every (benchmark, memory system) point of
+the MOM coding, simulated from scratch with no engine cache — for both
+timing models, and writes ``BENCH_timing.json`` at the repo root with
+the wall-clock speedup ratio.  The batched model's pre-decode memo is
+cleared before every column so each measurement pays the full
+decode + prime + schedule cost, exactly like a fresh engine run.
+
+Run directly (``python benchmarks/bench_timing_pipeline.py``) or via
+pytest (``pytest benchmarks/bench_timing_pipeline.py``).
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+from repro.engine.keys import RunSpec
+from repro.engine.parallel import build_configs, build_workload
+from repro.timing import predecode, simulate
+from repro.workloads import benchmark_names
+
+BENCH_OUT = Path(__file__).resolve().parent.parent / "BENCH_timing.json"
+MEMSYSTEMS = ("multibank", "vector", "ideal")
+#: best-of-N columns per model: simulation is deterministic, so the
+#: minimum is the right statistic against GC pauses and noisy neighbors
+ROUNDS = 5
+#: regression floor asserted by the test (the measured ratio — recorded
+#: in BENCH_timing.json — is ~3-3.5x on an idle machine; the floor is
+#: lower so a loaded CI runner does not flake)
+MIN_SPEEDUP = 2.0
+
+
+def _cold_fig3_column(model: str) -> float:
+    """Wall-clock seconds to simulate the fig3 grid column once."""
+    predecode._DECODE_CACHE.clear()
+    gc.collect()
+    start = time.perf_counter()
+    for bench in benchmark_names():
+        program = build_workload(bench, "mom", 0).program
+        for memsys_name in MEMSYSTEMS:
+            proc, memsys = build_configs(RunSpec(
+                benchmark=bench, coding="mom", memsys=memsys_name))
+            simulate(program, proc, memsys, model=model)
+    return time.perf_counter() - start
+
+
+def run_benchmark() -> dict:
+    # warm up workload builds, numpy and the allocator before timing
+    _cold_fig3_column("batched")
+    _cold_fig3_column("reference")
+    batched = min(_cold_fig3_column("batched") for _ in range(ROUNDS))
+    reference = min(_cold_fig3_column("reference") for _ in range(ROUNDS))
+    payload = {
+        "grid": ("fig3 cold column: mom x (multibank, vector, ideal) "
+                 "x 5 benchmarks, fresh simulations"),
+        "rounds": ROUNDS,
+        "reference_seconds": round(reference, 4),
+        "batched_seconds": round(batched, 4),
+        "speedup": round(reference / batched, 2),
+    }
+    BENCH_OUT.write_text(json.dumps(payload, indent=2) + "\n",
+                         encoding="utf-8")
+    return payload
+
+
+def test_timing_pipeline_speedup():
+    payload = run_benchmark()
+    print()
+    print(json.dumps(payload, indent=2))
+    assert payload["speedup"] >= MIN_SPEEDUP, payload
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_benchmark(), indent=2))

@@ -10,6 +10,17 @@ explicitly and are unaffected.
 
 import pytest
 
+try:
+    from hypothesis import settings as _hypothesis_settings
+
+    # The timing-equivalence CI job selects the deterministic profile
+    # with ``--hypothesis-profile=ci``; local runs keep the default.
+    _hypothesis_settings.register_profile(
+        "ci", deadline=None, derandomize=True, max_examples=60,
+        print_blob=True)
+except ImportError:  # pragma: no cover - hypothesis is a test-only dep
+    pass
+
 
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_repro_cache(tmp_path_factory):

@@ -118,8 +118,12 @@ def _parse_set(value: str) -> tuple[str, list]:
             try:
                 values.append(float(token))
             except ValueError:
-                raise argparse.ArgumentTypeError(
-                    f"--set {name}: {token!r} is not a number") from None
+                if not token:
+                    raise argparse.ArgumentTypeError(
+                        f"--set {name}: empty value") from None
+                # non-numeric overrides (e.g. timing_model=reference)
+                # pass through as strings; the engine validates them
+                values.append(token)
     if not values:
         raise argparse.ArgumentTypeError(f"--set {name} has no values")
     return name.strip(), values

@@ -2,10 +2,16 @@
 
 A :class:`RunSpec` names one simulation point of the evaluation grid:
 ``(benchmark, coding, memsys, l2_latency, warm, seed)`` plus free-form
-configuration overrides (processor, hierarchy or memory-system fields).
+configuration overrides (processor, hierarchy or memory-system fields,
+and the special ``timing_model`` override selecting the batched or
+reference pipeline implementation — see :mod:`repro.timing.pipeline`).
 Specs are frozen and hashable, so they key both the in-process memo and
 the persistent on-disk result cache; :meth:`RunSpec.digest` is a stable
-content hash independent of field ordering.
+content hash independent of field ordering.  Cached results are also
+namespaced by a *code version* hash over every ``repro`` source file
+(:func:`repro.engine.cache.code_version`), which automatically covers
+the timing layer's pre-decode/batched/reference modules — a change to
+any of them invalidates stale entries rather than serving them.
 """
 
 from __future__ import annotations

@@ -25,6 +25,7 @@ from repro.errors import ConfigError
 from repro.memsys.hierarchy import HierarchyConfig
 from repro.timing import (
     MEMSYSTEMS,
+    TIMING_MODELS,
     MemSysConfig,
     PROCESSORS,
     ProcessorConfig,
@@ -116,9 +117,17 @@ def build_memsys(name: str, l2_latency: int = 20) -> MemSysConfig:
     return factory(l2_latency)
 
 
-def _split_overrides(overrides) -> tuple[dict, dict, dict]:
-    """Partition override pairs into processor/hierarchy/memsys dicts."""
+def _split_overrides(overrides) -> tuple[dict, dict, dict, str | None]:
+    """Partition override pairs into processor/hierarchy/memsys dicts.
+
+    The special ``timing_model`` override selects the pipeline
+    implementation (``batched``/``reference``) instead of a
+    configuration field — both produce bit-identical statistics, so it
+    exists for differential testing and benchmarking through the
+    engine.
+    """
     proc, hier, memsys = {}, {}, {}
+    model: str | None = None
     for name, value in overrides:
         if name in _PROC_FIELDS:
             _check_value(name, value)
@@ -129,19 +138,27 @@ def _split_overrides(overrides) -> tuple[dict, dict, dict]:
         elif name in _MEMSYS_FIELDS:
             _check_value(name, value)
             memsys[name] = value
+        elif name == "timing_model":
+            if value not in TIMING_MODELS:
+                raise ConfigError(
+                    f"unknown timing model {value!r}; expected one of "
+                    f"{tuple(TIMING_MODELS)}")
+            model = value
         elif name == "l2_latency":
             raise ConfigError(
                 "set l2_latency on the RunSpec itself, not as an override")
         else:
             raise ConfigError(
                 f"unknown override field {name!r}; expected a "
-                f"ProcessorConfig, HierarchyConfig or MemSysConfig field")
-    return proc, hier, memsys
+                f"ProcessorConfig, HierarchyConfig or MemSysConfig field, "
+                f"or timing_model")
+    return proc, hier, memsys, model
 
 
-def build_configs(spec: RunSpec) -> tuple[ProcessorConfig, MemSysConfig]:
-    """Instantiate the processor and memory system a spec describes."""
-    proc_over, hier_over, ms_over = _split_overrides(spec.overrides)
+def _resolve_spec(spec: RunSpec
+                  ) -> tuple[ProcessorConfig, MemSysConfig, str | None]:
+    """Instantiate configs and the timing-model choice in one pass."""
+    proc_over, hier_over, ms_over, model = _split_overrides(spec.overrides)
     proc = build_processor(spec.coding)
     if proc_over:
         proc = replace(proc, **proc_over)
@@ -151,14 +168,26 @@ def build_configs(spec: RunSpec) -> tuple[ProcessorConfig, MemSysConfig]:
                          hierarchy=replace(memsys.hierarchy, **hier_over))
     if ms_over:
         memsys = replace(memsys, **ms_over)
+    return proc, memsys, model
+
+
+def build_configs(spec: RunSpec) -> tuple[ProcessorConfig, MemSysConfig]:
+    """Instantiate the processor and memory system a spec describes."""
+    proc, memsys, _model = _resolve_spec(spec)
     return proc, memsys
+
+
+def timing_model_for(spec: RunSpec) -> str | None:
+    """The spec's ``timing_model`` override, if any."""
+    return _split_overrides(spec.overrides)[3]
 
 
 def execute_spec(spec: RunSpec) -> RunStats:
     """Run one simulation point from scratch (no caching)."""
-    proc, memsys = build_configs(spec)
+    proc, memsys, model = _resolve_spec(spec)
     workload = build_workload(spec.benchmark, spec.coding, spec.seed)
-    return simulate(workload.program, proc, memsys, warm=spec.warm)
+    return simulate(workload.program, proc, memsys, warm=spec.warm,
+                    model=model)
 
 
 def _worker(specs: tuple[RunSpec, ...]) -> list[dict]:

@@ -32,15 +32,20 @@ class Runner:
         return self.engine.workload(benchmark, coding)
 
     def run(self, benchmark: str, coding: str, memsys: str = "vector",
-            l2_latency: int = 20, warm: bool = True) -> RunStats:
+            l2_latency: int = 20, warm: bool = True,
+            overrides=()) -> RunStats:
         """Simulate one configuration; memo- and disk-cached.
 
         ``memsys`` is one of ``ideal``, ``vector``, ``multibank``.
         ``coding`` picks both the trace and the processor model
-        (``mmx`` / ``mom`` / ``mom3d``).
+        (``mmx`` / ``mom`` / ``mom3d``).  ``overrides`` passes extra
+        configuration pairs through to the spec — including
+        ``("timing_model", "reference")`` to pin the scalar oracle
+        pipeline instead of the default batched one.
         """
         return self.engine.run(self.engine.spec(
-            benchmark, coding, memsys, l2_latency, warm))
+            benchmark, coding, memsys, l2_latency, warm,
+            overrides=overrides))
 
     def prefetch(self, specs, jobs: int | None = None) -> None:
         """Resolve a grid of specs up front (parallel when jobs > 1).

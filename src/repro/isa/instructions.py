@@ -103,11 +103,16 @@ class Program:
     instructions: list[Instruction] = field(default_factory=list)
     #: Human-readable name (workload + coding), used in reports.
     name: str = ""
+    #: Mutation counter: bumped by :meth:`append`/:meth:`extend` so
+    #: per-program memos (the timing layer's pre-decode cache) can
+    #: detect that a trace grew after it was lowered.
+    version: int = field(default=0, repr=False, compare=False)
 
     def append(self, inst: Instruction) -> None:
         """Validate and append one instruction."""
         inst.validate()
         self.instructions.append(inst)
+        self.version += 1
 
     def extend(self, insts: list[Instruction]) -> None:
         """Validate and append several instructions."""

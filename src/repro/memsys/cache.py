@@ -42,7 +42,7 @@ class CacheStats:
         return self.hits / self.accesses if self.accesses else 1.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Line:
     dirty: bool = False
     #: Exclusive-bit coherence: True while the scalar side (L1) owns it.
@@ -118,6 +118,52 @@ class SetAssocCache:
                 self.stats.writebacks += 1
         cset[tag] = _Line(dirty=is_write and self.write_back)
         return False
+
+    def vector_access(self, addr: int,
+                      is_write: bool = False) -> tuple[bool, bool]:
+        """Fused exclusive-bit probe + :meth:`access` for the vector path.
+
+        Returns ``(hit, handoff)`` where ``handoff`` is True when the
+        line was scalar-owned (the bit is cleared here; the caller
+        settles the L1 invalidation and penalty).  One set lookup
+        instead of the three a probe/clear/access sequence costs — the
+        vector ports sit on this for every L2 line they touch.
+
+        NOTE: the vector ports additionally inline this method's
+        present-and-not-scalar-owned hit case in their scheduling
+        loops (``vectorcache._schedule``/``_schedule_line_mode``,
+        ``multibank._schedule``) with deferred stats flushes; any
+        semantic change here must be mirrored there.  The equivalence
+        is pinned by ``test_planned_schedule_equals_unplanned`` and
+        the timing differential suite.
+        """
+        cset, tag = self._locate(addr)
+        entry = cset.get(tag)
+        handoff = False
+        stats = self.stats
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        if entry is not None:
+            if entry.scalar_owned:
+                entry.scalar_owned = False
+                handoff = True
+            cset.move_to_end(tag)
+            if is_write and self.write_back:
+                entry.dirty = True
+            return True, handoff
+        if is_write:
+            stats.write_misses += 1
+        else:
+            stats.read_misses += 1
+        if len(cset) >= self.ways:
+            _victim_tag, victim = cset.popitem(last=False)
+            stats.evictions += 1
+            if victim.dirty:
+                stats.writebacks += 1
+        cset[tag] = _Line(dirty=is_write and self.write_back)
+        return False, handoff
 
     def invalidate(self, addr: int) -> bool:
         """Drop the line holding ``addr``; returns True if it was present."""

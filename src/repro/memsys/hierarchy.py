@@ -85,14 +85,13 @@ class CacheHierarchy:
         a main-memory fill on miss and any coherence penalty (the base
         L2 latency is applied by the port, once per access).
         """
+        hit, handoff = self.l2.vector_access(addr, is_write)
         extra = 0
-        if self.l2.is_scalar_owned(addr):
+        if handoff:
             # exclusive-bit handoff: purge the line from the L1
             self.l1.invalidate(addr)
-            self.l2.set_scalar_owned(addr, False)
             self.coherence_events += 1
             extra += self.config.coherence_penalty
-        hit = self.l2.access(addr, is_write)
         if not hit:
             extra += self.mainmem.fetch_line()
         return hit, extra

@@ -12,12 +12,20 @@ from repro.timing.config import (
     multibank_memsys,
     vector_memsys,
 )
-from repro.timing.pipeline import Pipeline, simulate
+from repro.timing.pipeline import (
+    DEFAULT_TIMING_MODEL,
+    TIMING_MODELS,
+    BatchedPipeline,
+    Pipeline,
+    ReferencePipeline,
+    simulate,
+)
 from repro.timing.stats import RunStats, VecLenStats
 
 __all__ = [
-    "MEMSYSTEMS", "MemSysConfig", "PROCESSORS", "Pipeline",
-    "ProcessorConfig", "RunStats", "VecLenStats", "ideal_memsys",
-    "mmx_processor", "mom3d_processor", "mom_processor",
+    "BatchedPipeline", "DEFAULT_TIMING_MODEL", "MEMSYSTEMS",
+    "MemSysConfig", "PROCESSORS", "Pipeline", "ProcessorConfig",
+    "ReferencePipeline", "RunStats", "TIMING_MODELS", "VecLenStats",
+    "ideal_memsys", "mmx_processor", "mom3d_processor", "mom_processor",
     "multibank_memsys", "simulate", "vector_memsys",
 ]

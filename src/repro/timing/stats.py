@@ -141,6 +141,14 @@ class RunStats:
                 f"eff-bw {self.effective_bandwidth:.2f} w/acc, "
                 f"L2 activity {self.l2_activity}")
 
+    def diff(self, other: "RunStats") -> dict:
+        """Fields whose plain-data forms differ, as ``{field: (self
+        value, other value)}`` — the differential test suite's error
+        payload when the batched and reference pipelines disagree."""
+        mine, theirs = self.to_dict(), other.to_dict()
+        return {field: (mine[field], theirs[field])
+                for field in mine if mine[field] != theirs[field]}
+
     def to_dict(self) -> dict:
         """Lossless plain-data form (JSON-serializable)."""
         return {

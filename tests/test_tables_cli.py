@@ -73,6 +73,26 @@ def test_cli_bench_rejects_bad_name():
         main(["bench", "not_a_benchmark"])
 
 
+def test_cli_sweep_timing_model_axis(capsys):
+    """String-valued --set overrides (timing_model) sweep both models
+    and report identical schedules."""
+    assert main(["sweep", "-b", "gsm_encode", "-c", "mom",
+                 "-m", "vector", "--set", "timing_model=reference,batched",
+                 "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    rows = [line for line in out.splitlines() if "timing_model=" in line]
+    assert len(rows) == 2
+    # the two models' cycle/IPC/bandwidth columns must agree exactly
+    assert rows[0].split()[1:] == rows[1].split()[1:]
+
+
+def test_cli_sweep_rejects_unknown_timing_model(capsys):
+    assert main(["sweep", "-b", "gsm_encode", "-c", "mom", "-m",
+                 "vector", "--set", "timing_model=bogus",
+                 "--no-cache"]) == 2
+    assert "unknown timing model" in capsys.readouterr().err
+
+
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])

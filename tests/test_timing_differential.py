@@ -1,0 +1,167 @@
+"""Differential oracle: batched pipeline == reference pipeline.
+
+The batched timing model re-derives the reference model's schedule
+through pre-decoded arrays, span vectorization and closed-form resource
+packing; nothing of that restructuring may move a single statistic.
+This suite runs both models over every (benchmark, coding, memsys,
+l2_latency) point of the paper's fig3 / fig9 / table1 grids and asserts
+``RunStats.to_dict()`` equality field by field.
+"""
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.keys import RunSpec
+from repro.engine.parallel import build_configs, build_workload
+from repro.timing import simulate
+from repro.workloads import benchmark_names
+
+#: (coding, memory systems) per evaluation grid:
+#: fig3 — mom x {multibank, vector, ideal};
+#: fig9 — adds mmx x {multibank, ideal} and mom3d x vector;
+#: table1 — {mom, mom3d} x vector (subsumed by the two above).
+_GRID_CODINGS = (
+    ("mom", ("multibank", "vector", "ideal")),
+    ("mmx", ("multibank", "ideal")),
+    ("mom3d", ("vector",)),
+)
+
+
+def grid_points():
+    points = []
+    for bench in benchmark_names():
+        for coding, memsystems in _GRID_CODINGS:
+            for memsys in memsystems:
+                points.append((bench, coding, memsys, 20))
+    return points
+
+
+def _run_both(bench, coding, memsys, l2_latency, warm=True):
+    spec = RunSpec(benchmark=bench, coding=coding, memsys=memsys,
+                   l2_latency=l2_latency)
+    proc, memsys_config = build_configs(spec)
+    program = build_workload(bench, coding, 0).program
+    reference = simulate(program, proc, memsys_config, warm=warm,
+                         model="reference")
+    batched = simulate(program, proc, memsys_config, warm=warm,
+                       model="batched")
+    return reference, batched
+
+
+@pytest.mark.parametrize("bench,coding,memsys,l2_latency", grid_points())
+def test_batched_bit_identical_on_paper_grid(bench, coding, memsys,
+                                             l2_latency):
+    reference, batched = _run_both(bench, coding, memsys, l2_latency)
+    ref_dict = reference.to_dict()
+    bat_dict = batched.to_dict()
+    for field, ref_value in ref_dict.items():
+        assert bat_dict[field] == ref_value, (
+            f"{field} diverged on {bench}/{coding}/{memsys}: "
+            f"{batched.diff(reference)}")
+    assert bat_dict == ref_dict
+
+
+@pytest.mark.parametrize("bench", benchmark_names())
+def test_batched_bit_identical_cold(bench):
+    """Cold runs skip priming — the compulsory-miss path must agree too."""
+    reference, batched = _run_both(bench, "mom", "vector", 20, warm=False)
+    assert batched.to_dict() == reference.to_dict(), \
+        batched.diff(reference)
+
+
+def test_decode_memo_invalidated_when_program_grows():
+    """Appending to a program after a run must not serve stale decode
+    state: both models see the grown trace."""
+    from repro.isa import ProgramBuilder, r
+    from repro.timing import ideal_memsys, mom_processor
+
+    builder = ProgramBuilder("grow")
+    for i in range(20):
+        builder.li(r(i % 8), i)
+    program = builder.program
+    first = simulate(program, mom_processor(), ideal_memsys())
+    assert first.instructions == 20
+    for i in range(20):
+        builder.li(r(i % 8), i)
+    grown_batched = simulate(program, mom_processor(), ideal_memsys())
+    grown_reference = simulate(program, mom_processor(), ideal_memsys(),
+                               model="reference")
+    assert grown_batched.instructions == 40
+    assert grown_batched.to_dict() == grown_reference.to_dict()
+
+
+def test_engine_timing_model_override(tmp_path):
+    """The engine runs the reference model via the RunSpec override and
+    produces equal statistics under a distinct cache key."""
+    engine = Engine(jobs=1, cache_dir=tmp_path)
+    spec_batched = engine.spec("gsm_encode", "mom", "vector")
+    spec_reference = engine.spec(
+        "gsm_encode", "mom", "vector",
+        overrides=(("timing_model", "reference"),))
+    assert spec_batched.digest() != spec_reference.digest()
+    batched = engine.run(spec_batched)
+    reference = engine.run(spec_reference)
+    assert batched.to_dict() == reference.to_dict()
+    assert engine.stats.simulations == 2
+
+
+def test_latency_sweep_point_bit_identical():
+    """A non-default L2 latency (the fig10 axis) agrees as well."""
+    reference, batched = _run_both("mpeg2_encode", "mom3d", "vector", 40)
+    assert batched.to_dict() == reference.to_dict(), \
+        batched.diff(reference)
+
+
+def _outcome_counts(program, proc, memsys):
+    """Run both models; return (fast commits, fallbacks, identical)."""
+    from repro.timing.batched import BatchedPipeline
+
+    counts = {"committed": 0, "fallback": 0}
+    original = BatchedPipeline._run_span_fast
+
+    def counting(self, decoded, lo):
+        committed = original(self, decoded, lo)
+        counts["committed" if committed else "fallback"] += 1
+        return committed
+
+    BatchedPipeline._run_span_fast = counting
+    try:
+        batched = simulate(program, proc, memsys, model="batched")
+    finally:
+        BatchedPipeline._run_span_fast = original
+    reference = simulate(program, proc, memsys, model="reference")
+    return counts, batched.to_dict() == reference.to_dict()
+
+
+def test_vectorized_span_path_commits_and_matches():
+    """A long hazard-free stream takes the numpy span path (not just
+    the scalar fallback) and still matches the oracle exactly."""
+    from repro.isa import ProgramBuilder, r
+    from repro.timing import ideal_memsys, mom_processor
+
+    builder = ProgramBuilder("independent")
+    for i in range(200):
+        builder.li(r(i % 16), i)
+    counts, identical = _outcome_counts(
+        builder.program, mom_processor(), ideal_memsys())
+    assert counts["committed"] > 0
+    assert identical
+
+
+def test_vectorized_span_gate_fallback_matches():
+    """Slow vector loads push retirement far ahead of fetch, so the
+    window gates bind inside later spans: the fast path must refuse
+    and the scalar replay must still match the oracle."""
+    from repro.isa import ProgramBuilder, r, v
+    from repro.timing import mom_processor, vector_memsys
+
+    builder = ProgramBuilder("gated")
+    builder.setvl(16)
+    for i in range(4):
+        builder.vld(v(i), ea=0x1000 + 4096 * i, stride=720)
+    for i in range(300):
+        builder.li(r(i % 16), i)
+    counts, identical = _outcome_counts(
+        builder.program, mom_processor(), vector_memsys())
+    assert counts["fallback"] > 0
+    assert identical

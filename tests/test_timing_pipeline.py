@@ -244,3 +244,45 @@ def test_cycles_positive_and_retire_after_complete():
     stats = run(independent_program(8))
     assert stats.cycles > 0
     assert stats.instructions == 8
+
+
+def test_scalar_store_straddling_l2_line_gates_load():
+    """An 8-byte store whose end crosses an L2 line boundary must gate
+    loads from the *second* line too (store-conflict ordering).
+
+    Regression test: the model used to record only the first line for
+    scalar LD/ST, so a straddling store never conflicted with traffic
+    to the next line.  The paper-grid traces keep their LD/ST accesses
+    8-byte aligned, so the fix does not move any table.
+    """
+    def prog(store_ea):
+        b = ProgramBuilder()
+        b.li(r(1), 7)
+        # long dependency chain delays the store's address/data
+        for _ in range(30):
+            b.addi(r(1), r(1), 1)
+        b.st(r(1), ea=store_ea)
+        b.setvl(4)
+        b.vld(v(0), ea=0x2000, stride=8)
+        b.simd(Opcode.PADDB, v(1), v(0), v(0), etype=ElemType.U8)
+        return b.program
+
+    # 0x1ffc..0x2003 straddles into the load's line; 0x1ff0 does not
+    gated = run(prog(0x2000 - 4), memsys=vector_memsys()).cycles
+    clear = run(prog(0x2000 - 12), memsys=vector_memsys()).cycles
+    assert gated > clear
+
+
+def test_straddling_store_gates_identically_in_both_models():
+    b = ProgramBuilder()
+    b.li(r(1), 3)
+    for _ in range(20):
+        b.addi(r(1), r(1), 1)
+    b.st(r(1), ea=0x2000 - 4)
+    b.setvl(8)
+    b.vld(v(0), ea=0x2000, stride=16)
+    ref = simulate(b.program, mom_processor(), vector_memsys(),
+                   model="reference")
+    bat = simulate(b.program, mom_processor(), vector_memsys(),
+                   model="batched")
+    assert bat.to_dict() == ref.to_dict()
