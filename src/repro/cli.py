@@ -15,6 +15,16 @@ Subcommands:
   document.
 * ``trace <name> <coding> -o trace.bin`` / ``replay trace.bin`` — save
   a workload's instruction trace (ATOM-style) and re-time it later.
+  Replays route through the engine: results are content-addressed by
+  the trace bytes (cached like any grid point) and ``--set`` override
+  axes are honored.
+* ``serve`` — host the job service: an asyncio HTTP server exposing
+  this engine's ``run_many``/``sweep`` with request batching and
+  in-flight dedup (see ``docs/service.md``).
+* ``submit`` — run a declarative grid on a ``repro serve`` instance
+  through the client SDK (same axes flags as ``sweep``).
+* ``cache {ls,stat,gc}`` — inspect the persistent result cache per
+  code version and garbage-collect superseded versions.
 
 Engine flags (accepted before or after the subcommand):
 
@@ -25,6 +35,7 @@ Engine flags (accepted before or after the subcommand):
 
 Commands that simulate print an ``[engine] simulations=...`` summary
 line to stderr; a warm-cache rerun reports ``simulations=0``.
+``submit`` prints the *server's* counters as ``[service] ...`` instead.
 """
 
 from __future__ import annotations
@@ -138,26 +149,36 @@ def _merge_set_axes(axes: list[tuple[str, list]]) -> dict[str, list]:
     return merged
 
 
-def _cmd_sweep(args) -> int:
-    from repro.engine import Sweep, axes_product
+def _results_table(results, title: str):
+    """The sweep/submit/replay result table (one row per spec)."""
     from repro.harness.tables import Table
 
-    overrides = (axes_product(**_merge_set_axes(args.set))
-                 if args.set else [{}])
-    sweep = Sweep(benchmarks=args.benchmarks, codings=args.codings,
-                  memsystems=args.memsys, l2_latencies=args.l2_latency,
-                  overrides=overrides, warm=not args.cold,
-                  seed=args.seed)
-    runner = _make_runner(args)
-    results = runner.engine.run_many(sweep.specs())
     table = Table(["spec", "cycles", "IPC", "eff bw", "L2 activity",
-                   "words"],
-                  title=f"sweep over {len(results)} configurations")
+                   "words"], title=title)
     for spec, stats in results.items():
         table.add_row(spec.label(), stats.cycles, stats.ipc,
                       stats.effective_bandwidth, stats.l2_activity,
                       stats.cache_words)
-    print(table.render())
+    return table
+
+
+def _sweep_from_args(args):
+    from repro.engine import Sweep, axes_product
+
+    overrides = (axes_product(**_merge_set_axes(args.set))
+                 if args.set else [{}])
+    return Sweep(benchmarks=args.benchmarks, codings=args.codings,
+                 memsystems=args.memsys, l2_latencies=args.l2_latency,
+                 overrides=overrides, warm=not args.cold,
+                 seed=args.seed)
+
+
+def _cmd_sweep(args) -> int:
+    sweep = _sweep_from_args(args)
+    runner = _make_runner(args)
+    results = runner.engine.run_many(sweep.specs())
+    print(_results_table(
+        results, f"sweep over {len(results)} configurations").render())
     _print_engine_summary(runner)
     return 0
 
@@ -182,14 +203,108 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_replay(args) -> int:
-    from repro.engine import build_memsys, build_processor
-    from repro.harness.traceio import load_trace
-    from repro.timing import simulate
+    from repro.engine import RunSpec, axes_product, register_trace
 
-    program = load_trace(args.trace)
-    stats = simulate(program, build_processor(args.coding),
-                     build_memsys(args.memsys, args.l2_latency))
-    print(stats.summary())
+    benchmark = register_trace(args.trace)
+    overrides = (axes_product(**_merge_set_axes(args.set))
+                 if args.set else [{}])
+    runner = _make_runner(args)
+    engine = runner.engine
+    # seed pinned to 0: the trace bytes fix the program, so replays of
+    # the same content must share one cache entry regardless of --seed
+    specs = [RunSpec(benchmark=benchmark, coding=args.coding,
+                     memsys=args.memsys, l2_latency=args.l2_latency,
+                     warm=not args.cold, seed=0,
+                     overrides=tuple(over.items()))
+             for over in overrides]
+    results = engine.run_many(specs)
+    if len(results) == 1:
+        (stats,) = results.values()
+        print(stats.summary())
+    else:
+        print(_results_table(
+            results,
+            f"replay of {args.trace} over {len(results)} "
+            f"configurations").render())
+    _print_engine_summary(runner)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    runner = _make_runner(args)
+    serve(runner.engine, host=args.host, port=args.port,
+          window=args.window, max_batch=args.max_batch,
+          max_workers=args.workers, max_jobs=args.max_jobs,
+          announce=lambda url: print(f"[service] listening on {url}",
+                                     file=sys.stderr))
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    sweep = _sweep_from_args(args)
+    try:
+        client = ServiceClient(args.url)
+        results = client.sweep(sweep, timeout=args.timeout)
+        stats = client.stats()
+    except (ServiceError, TimeoutError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(_results_table(
+        results,
+        f"submitted {len(results)} configurations to "
+        f"{args.url}").render())
+    engine = stats["engine"]
+    scheduler = stats["scheduler"]
+    print("[service] " +
+          " ".join(f"{k}={v}" for k, v in engine.items()) + " | " +
+          " ".join(f"{k}={v}" for k, v in scheduler.items()),
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from datetime import datetime
+
+    from repro.engine import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    versions = cache.versions()
+    if args.action == "gc":
+        stale = [v for v in versions if v != cache.version]
+        removed, reclaimed = cache.gc()
+        print(f"removed {removed} entries ({reclaimed / 1024:.1f} KiB) "
+              f"from {len(stale)} superseded version(s)")
+        return 0
+    if not versions:
+        print(f"cache at {cache.root} is empty")
+        return 0
+    if args.action == "stat":
+        from repro.harness.tables import Table
+
+        table = Table(["version", "entries", "KiB", "status"],
+                      title=f"result cache at {cache.root}")
+        for version in versions:
+            entries = cache.entries(version, labels=False)
+            table.add_row(version, len(entries),
+                          sum(e.size for e in entries) / 1024,
+                          "active" if version == cache.version
+                          else "superseded")
+        print(table.render())
+        return 0
+    # ls: every entry, grouped by code version
+    for version in versions:
+        marker = " (active)" if version == cache.version else ""
+        entries = cache.entries(version)
+        print(f"{version}{marker}: {len(entries)} entries")
+        for entry in entries:
+            when = datetime.fromtimestamp(entry.mtime) \
+                .strftime("%Y-%m-%d %H:%M:%S")
+            print(f"  {entry.digest[:12]}  {entry.size:7d} B  "
+                  f"{when}  {entry.label}")
     return 0
 
 
@@ -245,24 +360,27 @@ def main(argv: list[str] | None = None) -> int:
                          choices=_MEMSYS_CHOICES)
     p_bench.add_argument("--l2-latency", type=int, default=20)
 
+    def _add_grid_axes(p) -> None:
+        p.add_argument("-b", "--benchmarks", nargs="+",
+                       default=benchmark_names(),
+                       choices=benchmark_names())
+        p.add_argument("-c", "--codings", nargs="+",
+                       default=["mom3d"], choices=CODINGS)
+        p.add_argument("-m", "--memsys", nargs="+",
+                       default=["vector"], choices=_MEMSYS_CHOICES)
+        p.add_argument("-l", "--l2-latency", nargs="+", type=int,
+                       default=[20], metavar="CYCLES")
+        p.add_argument("--cold", action="store_true",
+                       help="simulate with cold caches (no priming)")
+        p.add_argument("--set", action="append", type=_parse_set,
+                       metavar="FIELD=V1[,V2...]",
+                       help="override axis; repeatable, axes combine "
+                            "as a cartesian product")
+
     p_sweep = sub.add_parser(
         "sweep", parents=[common],
         help="simulate a declarative grid of configurations")
-    p_sweep.add_argument("-b", "--benchmarks", nargs="+",
-                         default=benchmark_names(),
-                         choices=benchmark_names())
-    p_sweep.add_argument("-c", "--codings", nargs="+",
-                         default=["mom3d"], choices=CODINGS)
-    p_sweep.add_argument("-m", "--memsys", nargs="+",
-                         default=["vector"], choices=_MEMSYS_CHOICES)
-    p_sweep.add_argument("-l", "--l2-latency", nargs="+", type=int,
-                         default=[20], metavar="CYCLES")
-    p_sweep.add_argument("--cold", action="store_true",
-                         help="simulate with cold caches (no priming)")
-    p_sweep.add_argument("--set", action="append", type=_parse_set,
-                         metavar="FIELD=V1[,V2...]",
-                         help="override axis; repeatable, axes combine "
-                              "as a cartesian product")
+    _add_grid_axes(p_sweep)
 
     p_report = sub.add_parser("report", parents=[common],
                               help="write the measured-results markdown")
@@ -274,19 +392,66 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("coding", choices=CODINGS)
     p_trace.add_argument("-o", "--output", required=True)
 
-    p_replay = sub.add_parser("replay", help="re-time a saved trace",
-                              parents=[common])
+    p_replay = sub.add_parser(
+        "replay", parents=[common],
+        help="re-time a saved trace through the engine (cached, "
+             "content-addressed by the trace bytes)")
     p_replay.add_argument("trace")
     p_replay.add_argument("--coding", default="mom3d", choices=CODINGS)
     p_replay.add_argument("--memsys", default="vector",
                           choices=_MEMSYS_CHOICES)
     p_replay.add_argument("--l2-latency", type=int, default=20)
+    p_replay.add_argument("--cold", action="store_true",
+                          help="simulate with cold caches (no priming)")
+    p_replay.add_argument("--set", action="append", type=_parse_set,
+                          metavar="FIELD=V1[,V2...]",
+                          help="override axis; repeatable, axes combine "
+                               "as a cartesian product")
+
+    p_serve = sub.add_parser(
+        "serve", parents=[common],
+        help="host the HTTP job service over this engine")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8737,
+                         help="listen port (0 picks a free one)")
+    p_serve.add_argument("--window", type=float, default=0.02,
+                         metavar="SECONDS",
+                         help="batch coalescing window (default 0.02)")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         metavar="N",
+                         help="max specs per run_many dispatch")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="executor threads resolving batches")
+    p_serve.add_argument("--max-jobs", type=int, default=256,
+                         metavar="N",
+                         help="running-jobs limit (further submissions "
+                              "get HTTP 429 until some finish)")
+
+    p_submit = sub.add_parser(
+        "submit", parents=[common],
+        help="run a declarative grid on a running 'repro serve'")
+    _add_grid_axes(p_submit)
+    p_submit.add_argument("--url", default="http://127.0.0.1:8737",
+                          help="service base URL")
+    p_submit.add_argument("--timeout", type=float, default=300.0,
+                          metavar="SECONDS",
+                          help="give up waiting after this long")
+
+    p_cache = sub.add_parser(
+        "cache", parents=[common],
+        help="inspect or garbage-collect the persistent result cache")
+    p_cache.add_argument("action", choices=("ls", "stat", "gc"),
+                         help="ls: list entries per code version; "
+                              "stat: per-version totals; gc: delete "
+                              "superseded code versions")
 
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
                 "tables": _cmd_all, "bench": _cmd_bench,
                 "sweep": _cmd_sweep, "report": _cmd_report,
-                "trace": _cmd_trace, "replay": _cmd_replay}
+                "trace": _cmd_trace, "replay": _cmd_replay,
+                "serve": _cmd_serve, "submit": _cmd_submit,
+                "cache": _cmd_cache}
     try:
         return handlers[args.command](args)
     except ConfigError as exc:

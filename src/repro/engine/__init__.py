@@ -20,7 +20,8 @@ benchmarks all route through it.  See ``docs/engine.md``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import asdict, dataclass
 
 from repro.engine.cache import ResultCache, code_version, default_cache_root
 from repro.engine.keys import RunSpec
@@ -30,7 +31,9 @@ from repro.engine.parallel import (
     build_processor,
     build_workload,
     execute_spec,
+    register_trace,
     simulate_many,
+    validate_spec,
 )
 from repro.engine.sweep import Sweep, axes_product
 from repro.timing.stats import RunStats
@@ -55,9 +58,22 @@ class EngineStats:
                 f"disk-hits={self.disk_hits} memo-hits={self.memo_hits} "
                 f"stores={self.stores}")
 
+    def to_dict(self) -> dict:
+        """Plain-data counters (the service's ``/v1/stats`` payload)."""
+        return asdict(self)
+
 
 class Engine:
-    """Cache- and parallelism-backed simulation orchestrator."""
+    """Cache- and parallelism-backed simulation orchestrator.
+
+    One Engine may be shared by several threads (the service scheduler
+    resolves batches on executor threads): the memo, the stats counters
+    and cache admission are guarded by a single lock, and admission is
+    first-writer-wins so every caller observes the same ``RunStats``
+    object for equal specs.  Simulations themselves always run outside
+    the lock — concurrent lookups never wait on a running simulation
+    (in-flight dedup is the scheduler's job, not the engine's).
+    """
 
     def __init__(self, seed: int = 0, jobs: int = 1,
                  cache_dir=None, use_cache: bool = True):
@@ -67,6 +83,7 @@ class Engine:
             ResultCache(cache_dir) if use_cache else None)
         self.stats = EngineStats()
         self._memo: dict[RunSpec, RunStats] = {}
+        self._lock = threading.RLock()
 
     # -- spec construction -------------------------------------------------
 
@@ -94,9 +111,9 @@ class Engine:
         if hit is not None:
             return hit
         stats = execute_spec(spec)
-        self.stats.simulations += 1
-        self._admit(spec, stats)
-        return stats
+        with self._lock:
+            self.stats.simulations += 1
+        return self._admit(spec, stats)
 
     def run_many(self, specs, jobs: int | None = None
                  ) -> dict[RunSpec, RunStats]:
@@ -117,31 +134,56 @@ class Engine:
                 pending.append(spec)
         if pending:
             fresh = simulate_many(pending, jobs=jobs)
-            self.stats.simulations += len(fresh)
+            with self._lock:
+                self.stats.simulations += len(fresh)
             for spec, stats in fresh.items():
-                self._admit(spec, stats)
-                results[spec] = stats
+                results[spec] = self._admit(spec, stats)
         return {spec: results[spec] for spec in specs}
 
     # -- internals ---------------------------------------------------------
+    #
+    # The lock guards only in-memory state (memo dict, counters); disk
+    # reads and writes happen outside it so one thread's cache I/O
+    # never stalls another thread's pure memo hits.
 
     def _lookup(self, spec: RunSpec) -> RunStats | None:
-        if spec in self._memo:
-            self.stats.memo_hits += 1
-            return self._memo[spec]
+        with self._lock:
+            if spec in self._memo:
+                self.stats.memo_hits += 1
+                return self._memo[spec]
         if self.cache is not None:
-            stats = self.cache.get(spec)
+            stats = self.cache.get(spec)  # disk read, unlocked
             if stats is not None:
-                self.stats.disk_hits += 1
-                self._memo[spec] = stats
-                return stats
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    existing = self._memo.get(spec)
+                    if existing is not None:  # raced: keep the winner
+                        return existing
+                    self._memo[spec] = stats
+                    return stats
         return None
 
-    def _admit(self, spec: RunSpec, stats: RunStats) -> None:
-        self._memo[spec] = stats
-        if self.cache is not None:
-            self.cache.put(spec, stats)
-            self.stats.stores += 1
+    def _admit(self, spec: RunSpec, stats: RunStats) -> RunStats:
+        """Admit one fresh result; first writer wins.
+
+        Returns the memoized object — when another thread simulated the
+        same spec concurrently and admitted first, its result is kept
+        (and returned) so identity-preserving memoization survives
+        concurrent use.  Only the winning thread persists to disk, and
+        it does so after releasing the lock (the cache's atomic-rename
+        writes need no coordination).
+        """
+        with self._lock:
+            existing = self._memo.get(spec)
+            if existing is not None:
+                return existing
+            self._memo[spec] = stats
+            store = self.cache is not None
+            if store:
+                self.stats.stores += 1
+        if store:
+            self.cache.put(spec, stats)  # disk write, unlocked
+        return stats
 
 
 def run_many(specs, jobs: int = 1, cache_dir=None, use_cache: bool = True
@@ -155,5 +197,6 @@ __all__ = [
     "Engine", "EngineStats", "ResultCache", "RunSpec", "Sweep",
     "axes_product", "build_configs", "build_memsys", "build_processor",
     "build_workload", "code_version", "default_cache_root",
-    "execute_spec", "run_many", "simulate_many",
+    "execute_spec", "register_trace", "run_many", "simulate_many",
+    "validate_spec",
 ]

@@ -24,12 +24,26 @@ import json
 import os
 import sys
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.engine.keys import RunSpec
 from repro.timing.stats import RunStats
 
 _ENTRY_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored result, as seen by ``repro cache {ls,stat,gc}``."""
+
+    version: str
+    digest: str
+    path: Path
+    size: int
+    mtime: float
+    #: spec label recovered from the stored payload ("?" if unreadable)
+    label: str
 
 
 def default_cache_root() -> Path:
@@ -123,3 +137,105 @@ class ResultCache:
         if not self.dir.is_dir():
             return 0
         return sum(1 for _ in self.dir.glob("*.json"))
+
+    # -- management (the ``repro cache`` subcommand) -----------------------
+
+    def versions(self) -> list[str]:
+        """Code-version namespaces present under the cache root.
+
+        Only directories that actually look like cache namespaces
+        (nothing but ``*.json``/``*.tmp`` entries inside — the same
+        predicate :meth:`gc` deletes by) are listed, so ``ls``/``stat``
+        and ``gc`` agree on what the cache contains even when the root
+        is mispointed at a directory with unrelated content.  The
+        active version sorts first; superseded ones follow in name
+        order.
+        """
+        if not self.root.is_dir():
+            return []
+        found = sorted(p.name for p in self.root.iterdir()
+                       if p.is_dir() and self._is_namespace(p))
+        if self.version in found:
+            found.remove(self.version)
+            found.insert(0, self.version)
+        return found
+
+    def entries(self, version: str | None = None,
+                labels: bool = True) -> list[CacheEntry]:
+        """Stored entries for one code version (default: the active one).
+
+        Unreadable payloads still list (with a ``"?"`` label) so ``gc``
+        and ``ls`` account for every file occupying space.  Pass
+        ``labels=False`` to skip reading the payloads (``cache stat``
+        only needs counts and sizes, which come from ``os.stat``).
+        """
+        version = self.version if version is None else version
+        directory = self.root / version
+        out: list[CacheEntry] = []
+        if not directory.is_dir():
+            return out
+        for path in sorted(directory.glob("*.json")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            label = ""
+            if labels:
+                try:
+                    with open(path, "r", encoding="utf-8") as fh:
+                        payload = json.load(fh)
+                    label = RunSpec.from_dict(payload["spec"]).label()
+                except Exception:
+                    label = "?"
+            out.append(CacheEntry(version=version, digest=path.stem,
+                                  path=path, size=stat.st_size,
+                                  mtime=stat.st_mtime, label=label))
+        return out
+
+    @staticmethod
+    def _is_namespace(directory: Path) -> bool:
+        """True when a directory holds nothing but cache entries.
+
+        ``gc`` must never destroy unrelated data when the cache root
+        is mispointed (``--cache-dir ~/data``), so only directories
+        whose entire content is ``*.json``/``*.tmp`` regular files
+        qualify as deletable namespaces.
+        """
+        try:
+            children = list(directory.iterdir())
+        except OSError:
+            return False
+        # an empty directory proves nothing about ownership: skip it
+        return bool(children) and all(
+            child.is_file() and child.suffix in (".json", ".tmp")
+            for child in children)
+
+    def gc(self) -> tuple[int, int]:
+        """Delete every superseded code-version namespace.
+
+        Returns ``(entries removed, bytes reclaimed)``.  The active
+        version's entries are never touched; stray temp files inside
+        removed namespaces count toward the totals.  Directories that
+        do not look like cache namespaces (anything beyond
+        ``*.json``/``*.tmp`` files inside) are left alone.
+        """
+        removed = reclaimed = 0
+        for version in self.versions():
+            if version == self.version:
+                continue
+            directory = self.root / version
+            if not self._is_namespace(directory):
+                continue
+            for path in sorted(directory.iterdir()):
+                try:
+                    size = path.stat().st_size
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                reclaimed += size
+            try:
+                directory.rmdir()
+            except OSError:
+                pass
+        return removed, reclaimed

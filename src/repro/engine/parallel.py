@@ -15,9 +15,12 @@ workloads, so a grid over many memory systems/latencies builds each
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import fields, replace
+from pathlib import Path
 from typing import get_type_hints
 
 from repro.engine.keys import RunSpec
@@ -79,22 +82,89 @@ def _check_value(name: str, value) -> None:
 #: LRU-bounded so long-lived hosts (e.g. an API server over the
 #: engine) don't accumulate traces without limit.  The cap comfortably
 #: holds one full evaluation grid (5 benchmarks x 3 codings).
+#: Guarded by ``_WORKLOADS_LOCK``: the service scheduler runs
+#: ``execute_spec`` on concurrent executor threads, and an unguarded
+#: ``move_to_end`` could race another thread's LRU eviction.  Builds
+#: themselves happen outside the lock (racing threads may both build;
+#: first writer wins).
 _WORKLOADS: OrderedDict[tuple[str, str, int], BuiltWorkload] = \
     OrderedDict()
 _WORKLOAD_MEMO_LIMIT = 16
+_WORKLOADS_LOCK = threading.Lock()
+
+#: Benchmark-name prefix marking a saved trace file instead of a
+#: generated workload (see :func:`register_trace`).
+TRACE_PREFIX = "trace:"
+
+#: Content digest -> trace path, populated by :func:`register_trace`.
+#: Process-local; :func:`simulate_many` ships the entries its shard
+#: needs to pool workers explicitly (fork *and* spawn start methods),
+#: so replays parallelize like any other benchmark.
+_TRACE_PATHS: dict[str, str] = {}
+
+
+def register_trace(path) -> str:
+    """Register a saved trace file; returns its spec *benchmark* name.
+
+    The name is ``trace:<content digest>`` — content-addressed, so the
+    engine's result cache keys replays by what the trace contains, not
+    where it lives: replaying the same bytes from another path (or
+    another day) is a cache hit, and editing the file is a miss.
+    """
+    blob = Path(path).read_bytes()
+    digest = hashlib.sha256(blob).hexdigest()[:16]
+    name = f"{TRACE_PREFIX}{digest}"
+    _TRACE_PATHS[digest] = str(path)
+    return name
+
+
+def _build_trace_workload(benchmark: str, coding: str) -> BuiltWorkload:
+    """Load a registered ``trace:<digest>`` benchmark as a workload."""
+    from repro.isa.encoding import decode_program
+    from repro.vm.memory import FlatMemory
+
+    digest = benchmark[len(TRACE_PREFIX):]
+    path = _TRACE_PATHS.get(digest)
+    if path is None:
+        raise ConfigError(
+            f"trace {benchmark!r} is not registered in this process; "
+            f"call engine.register_trace(path) first")
+    blob = Path(path).read_bytes()
+    # Re-hash at load time: if the file changed since registration,
+    # simulating the new bytes under the old digest would poison the
+    # content-addressed cache.
+    actual = hashlib.sha256(blob).hexdigest()[:len(digest)]
+    if actual != digest:
+        raise ConfigError(
+            f"trace file {path} changed since registration (digest "
+            f"{actual}, spec expects {digest}); re-register it")
+    program = decode_program(blob)
+    # Timing-only workload: the replayed program is never executed on
+    # the VM, so a token memory and a no-op check suffice.
+    return BuiltWorkload(name=benchmark, coding=coding, program=program,
+                         memory=FlatMemory(size=8),
+                         check=lambda state, memory: None)
 
 
 def build_workload(benchmark: str, coding: str, seed: int = 0
                    ) -> BuiltWorkload:
     """Build (once per process, LRU-memoized) one benchmark trace."""
     key = (benchmark, coding, seed)
-    if key in _WORKLOADS:
-        _WORKLOADS.move_to_end(key)
-        return _WORKLOADS[key]
-    built = get_benchmark(benchmark).build(coding, seed=seed)
-    _WORKLOADS[key] = built
-    while len(_WORKLOADS) > _WORKLOAD_MEMO_LIMIT:
-        _WORKLOADS.popitem(last=False)
+    with _WORKLOADS_LOCK:
+        if key in _WORKLOADS:
+            _WORKLOADS.move_to_end(key)
+            return _WORKLOADS[key]
+    if benchmark.startswith(TRACE_PREFIX):
+        built = _build_trace_workload(benchmark, coding)
+    else:
+        built = get_benchmark(benchmark).build(coding, seed=seed)
+    with _WORKLOADS_LOCK:
+        existing = _WORKLOADS.get(key)
+        if existing is not None:  # raced: keep the first build
+            return existing
+        _WORKLOADS[key] = built
+        while len(_WORKLOADS) > _WORKLOAD_MEMO_LIMIT:
+            _WORKLOADS.popitem(last=False)
     return built
 
 
@@ -182,6 +252,26 @@ def timing_model_for(spec: RunSpec) -> str | None:
     return _split_overrides(spec.overrides)[3]
 
 
+def validate_spec(spec: RunSpec) -> None:
+    """Raise :class:`ConfigError` if ``execute_spec`` would.
+
+    Cheap (config construction only — nothing is built or simulated):
+    checks the benchmark name, override routing/typing and the timing
+    model, i.e. everything :func:`execute_spec` validates before the
+    expensive work.  The service scheduler screens batches with this
+    so one bad spec fails alone instead of poisoning its batchmates.
+    """
+    _resolve_spec(spec)
+    if spec.benchmark.startswith(TRACE_PREFIX):
+        digest = spec.benchmark[len(TRACE_PREFIX):]
+        if digest not in _TRACE_PATHS:
+            raise ConfigError(
+                f"trace {spec.benchmark!r} is not registered in this "
+                f"process; call engine.register_trace(path) first")
+    else:
+        get_benchmark(spec.benchmark)
+
+
 def execute_spec(spec: RunSpec) -> RunStats:
     """Run one simulation point from scratch (no caching)."""
     proc, memsys, model = _resolve_spec(spec)
@@ -190,12 +280,25 @@ def execute_spec(spec: RunSpec) -> RunStats:
                     model=model)
 
 
-def _worker(specs: tuple[RunSpec, ...]) -> list[dict]:
+def _trace_paths_for(specs) -> tuple[tuple[str, str], ...]:
+    """The ``register_trace`` entries a shard's worker will need."""
+    digests = {spec.benchmark[len(TRACE_PREFIX):] for spec in specs
+               if spec.benchmark.startswith(TRACE_PREFIX)}
+    return tuple((digest, _TRACE_PATHS[digest]) for digest in
+                 sorted(digests) if digest in _TRACE_PATHS)
+
+
+def _worker(specs: tuple[RunSpec, ...],
+            trace_paths: tuple[tuple[str, str], ...] = ()) -> list[dict]:
     """Pool entry point: execute a shard, return plain-data stats.
 
     A shard holds specs sharing one ``(benchmark, coding, seed)`` so
     the (comparatively expensive) trace build happens once per shard.
+    ``trace_paths`` re-registers the parent's saved-trace paths in the
+    worker process (required under the spawn start method, where the
+    parent's module state is not inherited).
     """
+    _TRACE_PATHS.update(trace_paths)
     return [execute_spec(spec).to_dict() for spec in specs]
 
 
@@ -235,7 +338,8 @@ def simulate_many(specs: list[RunSpec], jobs: int = 1
     shards = _shard(specs, jobs)
     results: dict[RunSpec, RunStats] = {}
     with ProcessPoolExecutor(max_workers=min(jobs, len(shards))) as pool:
-        futures = [(shard, pool.submit(_worker, tuple(shard)))
+        futures = [(shard, pool.submit(_worker, tuple(shard),
+                                       _trace_paths_for(shard)))
                    for shard in shards]
         for shard, future in futures:
             for spec, payload in zip(shard, future.result()):

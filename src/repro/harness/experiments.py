@@ -39,6 +39,48 @@ def _sweep(runner: Runner, codings, memsystems,
         l2_latencies=tuple(l2_latencies), seed=runner.seed)
 
 
+# -- canonical evaluation grids ------------------------------------------------
+#
+# The experiments below AND every external consumer that claims parity
+# with them (the service HTTP tests, the CI service-smoke script) must
+# share one definition of each grid, so a future grid change cannot
+# silently decouple the parity checks from what `repro run` simulates.
+
+
+def fig3_sweep(seed: int = 0) -> Sweep:
+    """The fig. 3 grid: MOM on every realistic + ideal memory system."""
+    return Sweep(benchmarks=tuple(benchmark_names()), codings=("mom",),
+                 memsystems=("multibank", "vector", "ideal"), seed=seed)
+
+
+def fig9_sweeps(seed: int = 0) -> tuple[Sweep, ...]:
+    """The fig. 9 grids: every ISA/memory configuration."""
+    benches = tuple(benchmark_names())
+    return (
+        Sweep(benchmarks=benches, codings=("mmx",),
+              memsystems=("multibank", "ideal"), seed=seed),
+        Sweep(benchmarks=benches, codings=("mom",),
+              memsystems=("multibank", "vector", "ideal"), seed=seed),
+        Sweep(benchmarks=benches, codings=("mom3d",),
+              memsystems=("vector",), seed=seed),
+    )
+
+
+def table1_sweep(seed: int = 0) -> Sweep:
+    """The table 1 grid: MOM and MOM+3D on the vector cache."""
+    return Sweep(benchmarks=tuple(benchmark_names()),
+                 codings=("mom", "mom3d"), memsystems=("vector",),
+                 seed=seed)
+
+
+def paper_grids(seed: int = 0) -> list:
+    """Deduped union of the fig3 + fig9 + table1 specs (the service
+    parity surface)."""
+    sweeps = (fig3_sweep(seed), *fig9_sweeps(seed), table1_sweep(seed))
+    return list(dict.fromkeys(
+        spec for sweep in sweeps for spec in sweep.specs()))
+
+
 @dataclass
 class ExperimentResult:
     """One reproduced experiment: id, data, and comparison notes."""
@@ -57,8 +99,7 @@ class ExperimentResult:
 
 def fig3(runner: Runner) -> ExperimentResult:
     """Fig. 3 — slowdown of realistic MOM memory systems vs. ideal."""
-    _prefetch(runner, _sweep(runner, ("mom",),
-                             ("multibank", "vector", "ideal")))
+    _prefetch(runner, fig3_sweep(runner.seed))
     table = Table(["benchmark", "multibank", "vector-cache"])
     for bench in benchmark_names():
         table.add_row(bench,
@@ -109,7 +150,7 @@ def fig7(runner: Runner) -> ExperimentResult:
 
 def table1(runner: Runner) -> ExperimentResult:
     """Table 1 — memory-instruction vector length per dimension."""
-    _prefetch(runner, _sweep(runner, ("mom", "mom3d"), ("vector",)))
+    _prefetch(runner, table1_sweep(runner.seed))
     table = Table(["benchmark", "mom 1st", "mom 2nd", "3d 1st", "3d 2nd",
                    "3d 3rd", "3d 3rd max", "paper 3rd (max)"])
     for bench in benchmark_names():
@@ -194,10 +235,7 @@ def table4(runner: Runner) -> ExperimentResult:
 
 def fig9(runner: Runner) -> ExperimentResult:
     """Fig. 9 — slowdown of every ISA/memory configuration."""
-    _prefetch(runner,
-              _sweep(runner, ("mmx",), ("multibank", "ideal")),
-              _sweep(runner, ("mom",), ("multibank", "vector", "ideal")),
-              _sweep(runner, ("mom3d",), ("vector",)))
+    _prefetch(runner, *fig9_sweeps(runner.seed))
     table = Table(["benchmark", "mmx-mb", "mmx-ideal", "mom-mb",
                    "mom-vc", "mom3d-vc"])
     for bench in benchmark_names():

@@ -1,0 +1,42 @@
+"""Job-oriented service API over the simulation engine.
+
+The execution API, redesigned around *jobs* instead of direct calls:
+
+* :mod:`repro.service.schema` — versioned JSON wire format
+  (``JobRequest`` / ``JobResult`` / ``ErrorReply``) with total
+  round-trip encoding of ``RunSpec`` and ``RunStats``;
+* :mod:`repro.service.scheduler` — asyncio batching scheduler over one
+  shared, lock-protected :class:`~repro.engine.Engine` (in-flight
+  dedup, windowed ``run_many`` coalescing, executor offload);
+* :mod:`repro.service.server` — stdlib-asyncio HTTP server
+  (``POST /v1/jobs``, ``GET /v1/jobs/<id>``, ``/v1/health``,
+  ``/v1/stats``);
+* :mod:`repro.service.client` — blocking ``ServiceClient`` SDK whose
+  ``run_many``/``sweep`` return the in-process engine's result shape.
+
+``repro serve`` hosts it; ``repro submit`` talks to it.  See
+``docs/service.md`` for endpoints, wire schema and batching semantics.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.scheduler import (
+    BatchScheduler,
+    Job,
+    JobStore,
+    SchedulerStats,
+)
+from repro.service.schema import (
+    SCHEMA_VERSION,
+    ErrorReply,
+    JobRequest,
+    JobResult,
+    SchemaError,
+)
+from repro.service.server import ServiceServer, background_server, serve
+
+__all__ = [
+    "SCHEMA_VERSION", "BatchScheduler", "ErrorReply", "Job",
+    "JobRequest", "JobResult", "JobStore", "SchedulerStats",
+    "SchemaError", "ServiceClient", "ServiceError", "ServiceServer",
+    "background_server", "serve",
+]

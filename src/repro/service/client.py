@@ -1,0 +1,168 @@
+"""Blocking client SDK for the job service.
+
+:class:`ServiceClient` speaks the versioned wire schema over plain
+``http.client`` (stdlib, one request per connection) and returns the
+same shapes the in-process engine does: ``run_many`` yields a
+``{RunSpec: RunStats}`` dict that is bit-identical (per
+``RunStats.to_dict``) to ``Engine.run_many`` on the same grid — the
+service parity test asserts exactly that.
+
+    from repro.service import ServiceClient
+    client = ServiceClient("http://127.0.0.1:8737")
+    results = client.run_many(sweep.specs())
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Iterable, Mapping, Sequence
+
+from repro.engine.keys import RunSpec
+from repro.engine.sweep import Sweep
+from repro.errors import ReproError
+from repro.service.schema import (
+    SCHEMA_VERSION,
+    ErrorReply,
+    JobRequest,
+    JobResult,
+    SchemaError,
+)
+from repro.timing.stats import RunStats
+
+
+class ServiceError(ReproError):
+    """The server answered with a non-2xx reply (or unreadable JSON)."""
+
+    def __init__(self, status: int, reply: ErrorReply | None):
+        self.status = status
+        self.reply = reply
+        detail = reply.message if reply is not None else "no error body"
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class ServiceClient:
+    """Small blocking SDK over the job endpoints."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 poll_interval: float = 0.05):
+        if "//" not in base_url:  # bare host[:port] shorthand
+            base_url = "http://" + base_url
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme != "http":
+            raise ValueError(f"unsupported URL scheme in {base_url!r}")
+        if not parsed.hostname:
+            raise ValueError(f"no host in {base_url!r}")
+        self.host = parsed.hostname  # handles [::1]:8737 correctly
+        self.port = parsed.port if parsed.port is not None else 80
+        #: path prefix preserved for reverse-proxied deployments
+        #: (http://gateway/repro -> requests go to /repro/v1/...)
+        self.prefix = parsed.path.rstrip("/")
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+
+    # -- HTTP --------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Mapping | None = None) -> dict:
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            body = None
+            headers = {"Accept": "application/json"}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, self.prefix + path, body=body,
+                               headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            data = None
+        if not 200 <= status < 300:
+            reply = None
+            if isinstance(data, dict):
+                try:
+                    reply = ErrorReply.from_wire(data)
+                except SchemaError:
+                    reply = None
+            raise ServiceError(status, reply)
+        if not isinstance(data, dict):
+            raise ServiceError(status, None)
+        return data
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, specs: Iterable[RunSpec]) -> JobResult:
+        """POST a spec grid; returns the initial job snapshot."""
+        request = JobRequest(specs=tuple(specs))
+        return JobResult.from_wire(
+            self._request("POST", "/v1/jobs", request.to_wire()))
+
+    def submit_sweep(self, sweep: Sweep) -> JobResult:
+        """POST a declarative sweep (expanded server-side)."""
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "sweep": {
+                "benchmarks": list(sweep.benchmarks),
+                "codings": list(sweep.codings),
+                "memsystems": list(sweep.memsystems),
+                "l2_latencies": list(sweep.l2_latencies),
+                "overrides": [dict(over) for over in sweep.overrides],
+                "warm": sweep.warm,
+                "seed": sweep.seed,
+            },
+        }
+        return JobResult.from_wire(
+            self._request("POST", "/v1/jobs", payload))
+
+    def poll(self, job_id: str) -> JobResult:
+        return JobResult.from_wire(
+            self._request("GET", f"/v1/jobs/{job_id}"))
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> JobResult:
+        """Poll until the job leaves ``running`` (or raise on timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            result = self.poll(job_id)
+            if result.status != "running":
+                if result.status == "failed":
+                    raise ServiceError(200, ErrorReply(
+                        code="job-failed",
+                        message=result.error or "job failed"))
+                return result
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still running after {timeout:.0f}s")
+            time.sleep(self.poll_interval)
+
+    # -- engine-shaped conveniences ---------------------------------------
+
+    def run_many(self, specs: Sequence[RunSpec],
+                 timeout: float = 300.0) -> dict[RunSpec, RunStats]:
+        """Remote ``Engine.run_many``: submit, wait, return the dict."""
+        job = self.submit(specs)
+        done = job if job.status == "done" else \
+            self.wait(job.job_id, timeout=timeout)
+        return done.stats_by_spec()
+
+    def sweep(self, sweep: Sweep, timeout: float = 300.0
+              ) -> dict[RunSpec, RunStats]:
+        """Remote sweep: expanded server-side, same result shape."""
+        job = self.submit_sweep(sweep)
+        done = job if job.status == "done" else \
+            self.wait(job.job_id, timeout=timeout)
+        return done.stats_by_spec()

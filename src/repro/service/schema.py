@@ -1,0 +1,420 @@
+"""Versioned JSON wire schema for the job service.
+
+Everything that crosses the HTTP boundary is described here, in plain
+JSON-serializable dicts:
+
+* :class:`JobRequest` — what a client submits: an explicit spec grid
+  (``"specs"``) or a declarative sweep (``"sweep"``, expanded
+  server-side with :class:`repro.engine.Sweep` semantics);
+* :class:`JobResult` — a job snapshot: id, status, and — once done —
+  one ``{spec, stats}`` entry per unique submitted spec, in submission
+  order;
+* :class:`ErrorReply` — every non-2xx body: a machine-readable code, a
+  human-readable message, and per-field structured errors.
+
+Encoding is *total*: ``spec_from_wire(spec_to_wire(s)) == s`` for every
+valid :class:`~repro.engine.keys.RunSpec` (overrides and the
+``timing_model`` override included) and likewise for
+:class:`~repro.timing.stats.RunStats` via its lossless
+``to_dict``/``from_dict`` pair — property-tested in
+``tests/test_service_schema.py``.  Malformed payloads raise
+:class:`SchemaError` carrying ``{path, message}`` records instead of
+bare ``KeyError``/``TypeError`` tracebacks.
+
+Versioning policy: every payload carries ``schema_version``; a server
+only accepts its own version (:data:`SCHEMA_VERSION`) and replies with
+``error.code = "unsupported-schema-version"`` otherwise.  Additive
+response fields do not bump the version; any change to existing field
+meaning or spec/stats encoding does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.engine.keys import RunSpec
+from repro.engine.sweep import Sweep
+from repro.errors import ConfigError, ReproError
+from repro.timing.stats import RunStats
+from repro.workloads import benchmark_names
+
+#: Wire-format version; bumped on any incompatible change.
+SCHEMA_VERSION = 1
+
+#: Job lifecycle states a :class:`JobResult` may report.
+JOB_STATUSES = ("running", "done", "failed")
+
+#: Largest spec grid one submission may carry (explicit or expanded
+#: from a sweep) — a tiny JSON sweep must not balloon server-side.
+MAX_GRID = 4096
+
+#: JSON scalar types allowed for override values.
+_SCALAR = (bool, int, float, str)
+
+
+class SchemaError(ReproError):
+    """A wire payload failed validation.
+
+    ``errors`` is a tuple of ``{"path": ..., "message": ...}`` dicts —
+    one per problem found — which the server serializes into an
+    :class:`ErrorReply` (HTTP 400) verbatim.
+    """
+
+    def __init__(self, errors: Sequence[Mapping]):
+        self.errors = tuple(dict(e) for e in errors)
+        first = self.errors[0] if self.errors else {}
+        extra = len(self.errors) - 1
+        message = f"{first.get('path', '$')}: {first.get('message', '?')}"
+        if extra > 0:
+            message += f" (+{extra} more)"
+        super().__init__(message)
+
+
+def _fail(path: str, message: str) -> SchemaError:
+    return SchemaError([{"path": path, "message": message}])
+
+
+def _require_mapping(data, path: str) -> Mapping:
+    if not isinstance(data, Mapping):
+        raise _fail(path, f"expected an object, got "
+                          f"{type(data).__name__}")
+    return data
+
+
+def _get_typed(data: Mapping, name: str, kind, path: str, default):
+    """Fetch ``data[name]`` checking its JSON type (bool is not int)."""
+    if name not in data:
+        if default is not _REQUIRED:
+            return default
+        raise _fail(f"{path}.{name}", "required field is missing")
+    value = data[name]
+    if kind is int and isinstance(value, bool):
+        raise _fail(f"{path}.{name}", "expected an integer, got a bool")
+    if not isinstance(value, kind):
+        kind_name = kind.__name__ if isinstance(kind, type) \
+            else "/".join(k.__name__ for k in kind)
+        raise _fail(f"{path}.{name}",
+                    f"expected {kind_name}, got {type(value).__name__}")
+    return value
+
+
+_REQUIRED = object()
+
+
+def check_schema_version(payload: Mapping, path: str = "$") -> None:
+    """Reject payloads from another (or no) schema version."""
+    payload = _require_mapping(payload, path)
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise _fail(f"{path}.schema_version",
+                    f"unsupported schema version {version!r}; this "
+                    f"endpoint speaks version {SCHEMA_VERSION}")
+
+
+# -- RunSpec ---------------------------------------------------------------
+
+
+def spec_to_wire(spec: RunSpec) -> dict:
+    """Encode one spec (the canonical ``RunSpec.to_dict`` form)."""
+    return spec.to_dict()
+
+
+def spec_from_wire(data, path: str = "spec") -> RunSpec:
+    """Decode and validate one spec; total inverse of ``spec_to_wire``.
+
+    Unlike ``RunSpec`` itself (which defers benchmark validation to
+    build time), the wire decoder rejects unknown benchmarks up front:
+    a service cannot resolve ``trace:``/typo'd names, so they must be
+    a structured 400 at submission, not a failed job later.
+    """
+    data = _require_mapping(data, path)
+    benchmark = _get_typed(data, "benchmark", str, path, _REQUIRED)
+    if benchmark not in benchmark_names():
+        raise _fail(f"{path}.benchmark",
+                    f"unknown benchmark {benchmark!r}; known: "
+                    f"{benchmark_names()}")
+    coding = _get_typed(data, "coding", str, path, _REQUIRED)
+    memsys = _get_typed(data, "memsys", str, path, "vector")
+    l2_latency = _get_typed(data, "l2_latency", int, path, 20)
+    warm = _get_typed(data, "warm", bool, path, True)
+    seed = _get_typed(data, "seed", int, path, 0)
+    raw_overrides = _get_typed(data, "overrides", Sequence, path, ())
+    if isinstance(raw_overrides, str):
+        raise _fail(f"{path}.overrides",
+                    "expected a list of [field, value] pairs")
+    overrides = []
+    for i, pair in enumerate(raw_overrides):
+        opath = f"{path}.overrides[{i}]"
+        if (isinstance(pair, str) or not isinstance(pair, Sequence)
+                or len(pair) != 2):
+            raise _fail(opath, "expected a [field, value] pair")
+        name, value = pair
+        if not isinstance(name, str):
+            raise _fail(opath, "override field name must be a string")
+        if not isinstance(value, _SCALAR):
+            raise _fail(opath, f"override value must be a JSON scalar, "
+                               f"got {type(value).__name__}")
+        overrides.append((name, value))
+    try:
+        return RunSpec(benchmark=benchmark, coding=coding, memsys=memsys,
+                       l2_latency=l2_latency, warm=warm, seed=seed,
+                       overrides=tuple(overrides))
+    except ConfigError as exc:
+        raise _fail(path, str(exc)) from None
+
+
+# -- RunStats --------------------------------------------------------------
+
+
+def stats_to_wire(stats: RunStats) -> dict:
+    """Encode run statistics (the lossless ``RunStats.to_dict`` form)."""
+    return stats.to_dict()
+
+
+def stats_from_wire(data, path: str = "stats") -> RunStats:
+    """Decode run statistics, surfacing shape errors structurally."""
+    data = _require_mapping(data, path)
+    try:
+        return RunStats.from_dict(data)
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise _fail(path, f"malformed RunStats payload: {exc!r}") from None
+
+
+# -- requests --------------------------------------------------------------
+
+
+#: wire-absent marker: omitted sweep fields use Sweep's own dataclass
+#: defaults, so one definition owns them (no drift between in-process
+#: and wire-submitted sweeps)
+_OMITTED = object()
+
+
+def _sweep_from_wire(data, path: str) -> Sweep:
+    data = _require_mapping(data, path)
+    known = {"benchmarks", "codings", "memsystems", "l2_latencies",
+             "overrides", "warm", "seed"}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise _fail(f"{path}.{unknown[0]}", "unknown sweep field")
+
+    def _str_axis(name: str, default):
+        values = _get_typed(data, name, Sequence, path, default)
+        if values is _OMITTED:
+            return values
+        if isinstance(values, str) or not all(
+                isinstance(v, str) for v in values):
+            raise _fail(f"{path}.{name}", "expected a list of strings")
+        return tuple(values)
+
+    benchmarks = _str_axis("benchmarks", _REQUIRED)
+    if not benchmarks:
+        raise _fail(f"{path}.benchmarks", "at least one benchmark "
+                                          "is required")
+    unknown_benchmarks = [b for b in benchmarks
+                          if b not in benchmark_names()]
+    if unknown_benchmarks:
+        raise _fail(f"{path}.benchmarks",
+                    f"unknown benchmark {unknown_benchmarks[0]!r}; "
+                    f"known: {benchmark_names()}")
+
+    kwargs: dict = {"benchmarks": benchmarks}
+    for axis in ("codings", "memsystems"):
+        values = _str_axis(axis, _OMITTED)
+        if values is not _OMITTED:
+            kwargs[axis] = values
+    latencies = _get_typed(data, "l2_latencies", Sequence, path,
+                           _OMITTED)
+    if latencies is not _OMITTED:
+        if isinstance(latencies, str) or not all(
+                isinstance(v, int) and not isinstance(v, bool)
+                for v in latencies):
+            raise _fail(f"{path}.l2_latencies",
+                        "expected a list of integers")
+        kwargs["l2_latencies"] = tuple(latencies)
+    raw_overrides = _get_typed(data, "overrides", Sequence, path,
+                               _OMITTED)
+    if raw_overrides is not _OMITTED:
+        overrides = []
+        for i, over in enumerate(raw_overrides):
+            opath = f"{path}.overrides[{i}]"
+            over = _require_mapping(over, opath)
+            for name, value in over.items():
+                if not isinstance(name, str) \
+                        or not isinstance(value, _SCALAR):
+                    raise _fail(opath,
+                                "override mappings take string fields "
+                                "and JSON scalar values")
+            overrides.append(dict(over))
+        # an explicitly empty axis means a zero-spec sweep, exactly as
+        # Sweep(overrides=()) does in-process; from_wire rejects it
+        kwargs["overrides"] = tuple(overrides)
+    warm = _get_typed(data, "warm", bool, path, _OMITTED)
+    if warm is not _OMITTED:
+        kwargs["warm"] = warm
+    seed = _get_typed(data, "seed", int, path, _OMITTED)
+    if seed is not _OMITTED:
+        kwargs["seed"] = seed
+    return Sweep(**kwargs)
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A submission: the (deduplicated, order-preserving) spec grid."""
+
+    specs: tuple[RunSpec, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs",
+                           tuple(dict.fromkeys(self.specs)))
+
+    def to_wire(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "specs": [spec_to_wire(spec) for spec in self.specs],
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "JobRequest":
+        """Decode a submission (explicit ``specs`` or a ``sweep``)."""
+        payload = _require_mapping(payload, "$")
+        check_schema_version(payload)
+        has_specs = "specs" in payload
+        has_sweep = "sweep" in payload
+        if has_specs == has_sweep:
+            raise _fail("$", "a job request carries exactly one of "
+                             "'specs' or 'sweep'")
+        if has_sweep:
+            sweep = _sweep_from_wire(payload["sweep"], "$.sweep")
+            if len(sweep) == 0:  # an explicitly empty axis
+                raise _fail("$.sweep", "sweep expands to zero specs")
+            if len(sweep) > MAX_GRID:  # before expansion, by design
+                raise _fail("$.sweep",
+                            f"sweep expands to {len(sweep)} specs; "
+                            f"the limit is {MAX_GRID}")
+            try:
+                specs = tuple(sweep.specs())
+            except ConfigError as exc:
+                raise _fail("$.sweep", str(exc)) from None
+            return cls(specs=specs)
+        raw = payload["specs"]
+        if isinstance(raw, str) or not isinstance(raw, Sequence):
+            raise _fail("$.specs", "expected a list of spec objects")
+        if not raw:
+            raise _fail("$.specs", "at least one spec is required")
+        if len(raw) > MAX_GRID:
+            raise _fail("$.specs", f"{len(raw)} specs exceed the "
+                                   f"limit of {MAX_GRID}")
+        errors: list[dict] = []
+        specs: list[RunSpec] = []
+        for i, item in enumerate(raw):
+            try:
+                specs.append(spec_from_wire(item, f"$.specs[{i}]"))
+            except SchemaError as exc:
+                errors.extend(exc.errors)
+        if errors:
+            raise SchemaError(errors)
+        return cls(specs=tuple(specs))
+
+
+# -- results ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One job's externally visible snapshot."""
+
+    job_id: str
+    status: str
+    #: (spec, stats) per unique spec, submission order; None until done
+    results: tuple[tuple[RunSpec, RunStats], ...] | None = None
+    #: failure message when status == "failed"
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in JOB_STATUSES:
+            raise _fail("$.status", f"unknown job status {self.status!r};"
+                                    f" expected one of {JOB_STATUSES}")
+
+    def stats_by_spec(self) -> dict[RunSpec, RunStats]:
+        """Results as the ``Engine.run_many`` dict shape."""
+        return dict(self.results or ())
+
+    def to_wire(self) -> dict:
+        results = None
+        if self.results is not None:
+            results = [{"spec": spec_to_wire(spec),
+                        "stats": stats_to_wire(stats)}
+                       for spec, stats in self.results]
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "status": self.status,
+            "results": results,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "JobResult":
+        payload = _require_mapping(payload, "$")
+        check_schema_version(payload)
+        job_id = _get_typed(payload, "job_id", str, "$", _REQUIRED)
+        status = _get_typed(payload, "status", str, "$", _REQUIRED)
+        error = payload.get("error")
+        if error is not None and not isinstance(error, str):
+            raise _fail("$.error", "expected a string or null")
+        raw = payload.get("results")
+        results = None
+        if raw is not None:
+            if isinstance(raw, str) or not isinstance(raw, Sequence):
+                raise _fail("$.results", "expected a list or null")
+            results = []
+            for i, item in enumerate(raw):
+                item = _require_mapping(item, f"$.results[{i}]")
+                spec = spec_from_wire(item.get("spec"),
+                                      f"$.results[{i}].spec")
+                stats = stats_from_wire(item.get("stats"),
+                                        f"$.results[{i}].stats")
+                results.append((spec, stats))
+            results = tuple(results)
+        return cls(job_id=job_id, status=status, results=results,
+                   error=error)
+
+
+# -- errors ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """The body of every non-2xx response."""
+
+    code: str
+    message: str
+    errors: tuple[dict, ...] = field(default=())
+
+    def to_wire(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "error": {
+                "code": self.code,
+                "message": self.message,
+                "errors": [dict(e) for e in self.errors],
+            },
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "ErrorReply":
+        payload = _require_mapping(payload, "$")
+        body = _require_mapping(payload.get("error"), "$.error")
+        return cls(
+            code=_get_typed(body, "code", str, "$.error", _REQUIRED),
+            message=_get_typed(body, "message", str, "$.error",
+                               _REQUIRED),
+            errors=tuple(dict(_require_mapping(e, f"$.error.errors[{i}]"))
+                         for i, e in enumerate(body.get("errors", ()))),
+        )
+
+    @classmethod
+    def from_schema_error(cls, exc: SchemaError) -> "ErrorReply":
+        return cls(code="invalid-request", message=str(exc),
+                   errors=exc.errors)

@@ -1,0 +1,346 @@
+"""Stdlib-asyncio HTTP server exposing the engine as a job service.
+
+No third-party dependencies: requests are parsed straight off an
+``asyncio`` stream (HTTP/1.1, one request per connection).  Endpoints
+(all JSON, schema-versioned — see :mod:`repro.service.schema` and
+``docs/service.md``):
+
+* ``POST /v1/jobs`` — submit a spec grid or declarative sweep; replies
+  ``202`` with the job snapshot (poll it).
+* ``GET /v1/jobs/<id>`` — job status; includes per-spec results once
+  ``status == "done"``.
+* ``GET /v1/health`` — liveness probe.
+* ``GET /v1/stats`` — engine counters (simulations / hits / stores),
+  scheduler coalescing counters, and result-cache occupancy.
+
+Every non-2xx body is a structured :class:`ErrorReply` — client
+payload mistakes come back as 4xx with per-field errors, never as a
+traceback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import sys
+import threading
+from typing import Awaitable, Callable
+
+from repro.engine import Engine
+from repro.service.scheduler import (
+    BatchScheduler,
+    Job,
+    JobStore,
+    JobStoreFull,
+)
+from repro.service.schema import (
+    SCHEMA_VERSION,
+    ErrorReply,
+    JobRequest,
+    SchemaError,
+)
+
+_MAX_BODY = 8 << 20  # 8 MiB of JSON is far beyond any real grid
+_MAX_HEADERS = 100  # stdlib http.client sends a handful
+#: Seconds a client gets to deliver its complete request.  Bounds the
+#: damage of idle/trickling connections; responses are not limited
+#: (jobs are polled, so replies are always immediate).
+_REQUEST_TIMEOUT = 30.0
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error"}
+
+
+class _HttpReply(Exception):
+    """Internal control flow: abort the handler with this reply."""
+
+    def __init__(self, status: int, reply: ErrorReply):
+        self.status = status
+        self.reply = reply
+        super().__init__(reply.message)
+
+
+class ServiceServer:
+    """The job service: one engine, one scheduler, one HTTP listener."""
+
+    def __init__(self, engine: Engine | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 window: float = 0.02, max_batch: int = 64,
+                 max_workers: int = 2, max_jobs: int = 256):
+        self.engine = engine if engine is not None else Engine()
+        self.host = host
+        self.port = port
+        self.scheduler = BatchScheduler(self.engine, window=window,
+                                        max_batch=max_batch,
+                                        max_workers=max_workers)
+        self.jobs = JobStore(limit=max_jobs)
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start the batch dispatcher."""
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.close()
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await asyncio.wait_for(
+                self._handle_request(reader), _REQUEST_TIMEOUT)
+        except asyncio.TimeoutError:
+            status = 400
+            payload = ErrorReply(
+                code="bad-request",
+                message=f"request not delivered within "
+                        f"{_REQUEST_TIMEOUT:.0f}s").to_wire()
+        except _HttpReply as stop:
+            status, payload = stop.status, stop.reply.to_wire()
+        except (ValueError, asyncio.IncompleteReadError):
+            # over-long header/request line or a truncated body
+            status = 400
+            payload = ErrorReply(code="bad-request",
+                                 message="malformed request").to_wire()
+        except Exception as exc:  # noqa: BLE001 - boundary: no tracebacks
+            print(f"[service] internal error: {exc!r}", file=sys.stderr)
+            status = 500
+            payload = ErrorReply(code="internal-error",
+                                 message="internal server error"
+                                 ).to_wire()
+        body = json.dumps(payload).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_request(self, reader: asyncio.StreamReader
+                              ) -> tuple[int, dict]:
+        request_line = (await reader.readline()).decode(
+            "ascii", "replace").strip()
+        if not request_line:
+            raise _HttpReply(400, ErrorReply(
+                code="bad-request", message="empty request"))
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpReply(400, ErrorReply(
+                code="bad-request",
+                message=f"malformed request line {request_line!r}"))
+        method, target, _version = parts
+        headers = {}
+        while True:
+            if len(headers) > _MAX_HEADERS:
+                raise _HttpReply(400, ErrorReply(
+                    code="bad-request",
+                    message=f"more than {_MAX_HEADERS} headers"))
+            line = (await reader.readline()).decode("ascii",
+                                                    "replace").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        body = await self._read_body(reader, headers)
+        return await self._route(method.upper(), path, body)
+
+    async def _read_body(self, reader: asyncio.StreamReader,
+                         headers: dict) -> bytes:
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpReply(400, ErrorReply(
+                code="bad-request",
+                message="unreadable Content-Length")) from None
+        if length < 0:
+            raise _HttpReply(400, ErrorReply(
+                code="bad-request",
+                message="negative Content-Length"))
+        if length > _MAX_BODY:
+            raise _HttpReply(413, ErrorReply(
+                code="payload-too-large",
+                message=f"body exceeds {_MAX_BODY} bytes"))
+        return await reader.readexactly(length) if length else b""
+
+    async def _route(self, method: str, path: str, body: bytes
+                     ) -> tuple[int, dict]:
+        if path == "/v1/jobs":
+            self._require_method(method, "POST", path)
+            return await self._post_job(body)
+        if path.startswith("/v1/jobs/"):
+            self._require_method(method, "GET", path)
+            return self._get_job(path[len("/v1/jobs/"):])
+        if path == "/v1/health":
+            self._require_method(method, "GET", path)
+            return 200, {"schema_version": SCHEMA_VERSION,
+                         "status": "ok"}
+        if path == "/v1/stats":
+            self._require_method(method, "GET", path)
+            return 200, self._stats_payload()
+        raise _HttpReply(404, ErrorReply(
+            code="not-found", message=f"no such endpoint {path!r}"))
+
+    def _require_method(self, method: str, expected: str,
+                        path: str) -> None:
+        if method != expected:
+            raise _HttpReply(405, ErrorReply(
+                code="method-not-allowed",
+                message=f"{path} only accepts {expected}"))
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _post_job(self, body: bytes) -> tuple[int, dict]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpReply(400, ErrorReply(
+                code="bad-json",
+                message=f"request body is not valid JSON: {exc}"
+            )) from None
+        try:
+            request = JobRequest.from_wire(payload)
+        except SchemaError as exc:
+            raise _HttpReply(
+                400, ErrorReply.from_schema_error(exc)) from None
+        # check capacity before queueing anything on the scheduler
+        try:
+            self.jobs.ensure_capacity()
+        except JobStoreFull as exc:
+            raise _HttpReply(429, ErrorReply(
+                code="too-many-jobs", message=str(exc))) from None
+        job = Job(request.specs, self.scheduler.submit(request.specs))
+        self.jobs.add(job)
+        snapshot = job.snapshot()
+        if snapshot.status != "running":  # results delivered inline
+            job.served = True
+        return 202, snapshot.to_wire()
+
+    def _get_job(self, job_id: str) -> tuple[int, dict]:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise _HttpReply(404, ErrorReply(
+                code="unknown-job", message=f"no job {job_id!r}"))
+        snapshot = job.snapshot()
+        if snapshot.status != "running":
+            job.served = True
+        return 200, snapshot.to_wire()
+
+    def _stats_payload(self) -> dict:
+        cache = self.engine.cache
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "engine": self.engine.stats.to_dict(),
+            "scheduler": self.scheduler.stats.to_dict(),
+            "cache": {
+                "enabled": cache is not None,
+                "entries": len(cache) if cache is not None else 0,
+                "version": cache.version if cache is not None else None,
+                "root": str(cache.root) if cache is not None else None,
+            },
+        }
+
+
+def serve(engine: Engine | None = None, *, host: str = "127.0.0.1",
+          port: int = 8737, window: float = 0.02, max_batch: int = 64,
+          max_workers: int = 2, max_jobs: int = 256,
+          announce: Callable[[str], None] | None = None) -> None:
+    """Blocking entry point (the ``repro serve`` subcommand)."""
+
+    async def _main() -> None:
+        server = ServiceServer(engine, host=host, port=port,
+                               window=window, max_batch=max_batch,
+                               max_workers=max_workers,
+                               max_jobs=max_jobs)
+        await server.start()
+        if announce is not None:
+            announce(server.url)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+@contextlib.contextmanager
+def background_server(engine: Engine | None = None, *,
+                      host: str = "127.0.0.1", port: int = 0,
+                      window: float = 0.02, max_batch: int = 64,
+                      max_workers: int = 2):
+    """Run a server on a daemon thread; yields the started server.
+
+    The event loop lives on the thread; the caller gets the bound
+    ``server.url`` for a :class:`~repro.service.client.ServiceClient`.
+    Used by the tests, the examples and the CI smoke job.
+    """
+    started = threading.Event()
+    stop: dict = {}
+    failure: list[BaseException] = []
+
+    async def _main() -> None:
+        server = ServiceServer(engine, host=host, port=port,
+                               window=window, max_batch=max_batch,
+                               max_workers=max_workers)
+        try:
+            await server.start()
+        except BaseException as exc:  # propagate bind errors to caller
+            failure.append(exc)
+            started.set()
+            await server.close()
+            return
+        stop["server"] = server
+        stop["loop"] = asyncio.get_running_loop()
+        stop["event"] = asyncio.Event()
+        started.set()
+        try:
+            await stop["event"].wait()
+        finally:
+            await server.close()
+
+    thread = threading.Thread(target=lambda: asyncio.run(_main()),
+                              name="repro-service", daemon=True)
+    thread.start()
+    started.wait()
+    if failure:
+        raise failure[0]
+    try:
+        yield stop["server"]
+    finally:
+        stop["loop"].call_soon_threadsafe(stop["event"].set)
+        thread.join(timeout=10)

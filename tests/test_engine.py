@@ -176,6 +176,72 @@ def test_cache_ignores_corrupt_entries(tmp_path):
     assert cache.get(spec) is None
 
 
+def test_cache_management_versions_entries_gc(tmp_path):
+    spec = RunSpec(BENCH, "mom", "vector")
+    current = ResultCache(tmp_path, version="v-new")
+    current.put(spec, RunStats(name="x"))
+    old = ResultCache(tmp_path, version="v-old")
+    old.put(spec, RunStats(name="y"))
+    old.put(RunSpec(BENCH, "mom3d", "vector"), RunStats(name="z"))
+
+    # the active version sorts first; entries carry spec labels + sizes
+    assert current.versions() == ["v-new", "v-old"]
+    entries = current.entries()
+    assert [e.label for e in entries] == [spec.label()]
+    assert entries[0].size > 0 and entries[0].digest == spec.digest()
+    assert len(current.entries("v-old")) == 2
+    # the stat fast path skips payload reads but keeps count/size
+    fast = current.entries(labels=False)
+    assert [e.label for e in fast] == [""]
+    assert fast[0].size == entries[0].size
+
+    removed, reclaimed = current.gc()
+    assert removed == 2 and reclaimed > 0
+    assert current.versions() == ["v-new"]
+    assert current.get(spec) is not None  # active entries untouched
+    assert old.get(spec) is None
+
+
+def test_cache_entries_list_unreadable_files(tmp_path):
+    cache = ResultCache(tmp_path, version="v")
+    cache.dir.mkdir(parents=True)
+    (cache.dir / "deadbeef.json").write_text("{not json")
+    entries = cache.entries()
+    assert len(entries) == 1
+    assert entries[0].label == "?"
+
+
+def test_cache_gc_never_touches_foreign_directories(tmp_path):
+    """gc against a mispointed root must not destroy unrelated data:
+    only directories holding nothing but *.json/*.tmp files qualify."""
+    cache = ResultCache(tmp_path, version="v-new")
+    cache.put(RunSpec(BENCH, "mom", "vector"), RunStats(name="x"))
+    photos = tmp_path / "photos"
+    photos.mkdir()
+    (photos / "holiday.png").write_bytes(b"\x89PNG...")
+    nested = tmp_path / "project"
+    (nested / "sub").mkdir(parents=True)
+    (nested / "notes.json").write_text("{}")  # json, but has a subdir
+    empty = tmp_path / "inbox"
+    empty.mkdir()  # empty dirs prove nothing about ownership
+
+    removed, _reclaimed = cache.gc()
+    assert removed == 0
+    assert (photos / "holiday.png").exists()
+    assert (nested / "notes.json").exists()
+    assert empty.is_dir()
+    # ls/stat see the same world gc acts on: no foreign "versions"
+    assert cache.versions() == ["v-new"]
+
+    # a real superseded namespace alongside them is still collected
+    ResultCache(tmp_path, version="v-old").put(
+        RunSpec(BENCH, "mom", "vector"), RunStats(name="y"))
+    removed, _reclaimed = cache.gc()
+    assert removed == 1
+    assert not (tmp_path / "v-old").exists()
+    assert (photos / "holiday.png").exists()
+
+
 def test_engine_without_cache_simulates_once_per_spec(tmp_path):
     engine = Engine(use_cache=False)
     spec = RunSpec(BENCH, "mom", "vector")

@@ -96,3 +96,70 @@ def test_cli_sweep_rejects_unknown_timing_model(capsys):
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+# --- cache management --------------------------------------------------------
+
+
+def test_cli_cache_ls_stat_gc(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["cache", "stat"]) == 0
+    assert "empty" in capsys.readouterr().out
+
+    # populate the active version, fake a superseded one
+    assert main(["bench", "gsm_encode", "--coding", "mom",
+                 "--memsys", "ideal"]) == 0
+    capsys.readouterr()
+    stale = tmp_path / "0123456789abcdef"
+    stale.mkdir()
+    (stale / "feed.json").write_text('{"stale": true}')
+
+    assert main(["cache", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert "(active)" in out
+    assert "gsm_encode/mom/ideal" in out
+    assert "0123456789abcdef" in out
+
+    assert main(["cache", "stat"]) == 0
+    out = capsys.readouterr().out
+    assert "active" in out and "superseded" in out
+
+    assert main(["cache", "gc"]) == 0
+    assert "removed 1 entries" in capsys.readouterr().out
+    assert not stale.exists()
+
+    # the active version survives gc: a rerun must not simulate
+    assert main(["bench", "gsm_encode", "--coding", "mom",
+                 "--memsys", "ideal"]) == 0
+    assert "simulations=0" in capsys.readouterr().err
+
+
+# --- service submit ----------------------------------------------------------
+
+
+def test_cli_submit_against_live_service(capsys):
+    from repro.engine import Engine
+    from repro.service import background_server
+
+    engine = Engine(use_cache=False)
+    with background_server(engine) as server:
+        assert main(["submit", "-b", "gsm_encode", "-c", "mom",
+                     "-m", "ideal", "--url", server.url]) == 0
+    captured = capsys.readouterr()
+    assert "gsm_encode/mom/ideal" in captured.out
+    assert "[service]" in captured.err
+    assert "simulations=1" in captured.err
+
+
+def test_cli_submit_unreachable_service(capsys):
+    assert main(["submit", "-b", "gsm_encode", "-c", "mom",
+                 "-m", "ideal", "--url",
+                 "http://127.0.0.1:1"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_submit_rejects_bad_url(capsys):
+    assert main(["submit", "-b", "gsm_encode", "-c", "mom",
+                 "-m", "ideal", "--url",
+                 "https://127.0.0.1:9"]) == 1
+    assert "error:" in capsys.readouterr().err
