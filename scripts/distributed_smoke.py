@@ -1,0 +1,98 @@
+"""CI distributed smoke: fig3 via a remote-backend service + workers.
+
+Run against a live ``repro serve --backend remote`` instance with
+``repro worker`` processes attached:
+
+    python scripts/distributed_smoke.py --url http://127.0.0.1:8737 \
+        --phase cold --out cold.json
+
+* fetches the fig3 evaluation grid via ``ServiceClient.run_many`` —
+  the server's engine dispatches every uncached spec to the attached
+  workers through ``/v1/work/lease``/``/v1/work/complete``;
+* asserts the server-side counters match the phase: ``cold``
+  dispatched every unique spec to the workers and admitted each shard
+  exactly once (completions == shards, zero duplicates); ``warm`` (a
+  restart over the same result cache, no workers needed) simulated and
+  dispatched **nothing**;
+* recomputes the grid with an in-process ``Engine.run_many`` and
+  asserts the wire results are byte-identical (``RunStats.to_dict``);
+* writes the results keyed by spec digest to ``--out`` (sorted,
+  canonical JSON) so CI can ``cmp`` the cold and warm phases.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine import Engine  # noqa: E402
+from repro.harness.experiments import fig3_sweep  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--url", default="http://127.0.0.1:8737")
+    parser.add_argument("--phase", choices=("cold", "warm"),
+                        required=True)
+    parser.add_argument("--out", required=True)
+    args = parser.parse_args(argv)
+
+    specs = fig3_sweep().specs()  # the canonical `repro run fig3` grid
+    unique = list(dict.fromkeys(specs))
+    client = ServiceClient(args.url)
+
+    stats = client.stats()
+    assert stats["backend"]["name"] == "remote", (
+        f"distributed smoke needs 'repro serve --backend remote', "
+        f"got backend {stats['backend']['name']!r}")
+
+    remote = client.run_many(specs, timeout=600)
+    stats = client.stats()
+    engine_stats = stats["engine"]
+    backend_stats = stats["backend"]
+    print(f"[smoke] {args.phase}: fetched {len(remote)} specs; "
+          f"engine: {engine_stats}; backend: {backend_stats}")
+
+    if args.phase == "cold":
+        assert engine_stats["simulations"] == len(unique), (
+            f"cold service should have admitted {len(unique)} worker "
+            f"results, reported {engine_stats['simulations']}")
+        # every shard dispatched to the worker fleet was simulated
+        # exactly once: each enqueued shard completed, no shard (or
+        # spec) was admitted twice
+        assert backend_stats["enqueued_shards"] >= 1
+        assert backend_stats["completions"] == \
+            backend_stats["enqueued_shards"], backend_stats
+        assert backend_stats["completed_specs"] == len(unique), \
+            backend_stats
+        assert backend_stats["duplicate_completions"] == 0, \
+            backend_stats
+    else:
+        assert engine_stats["simulations"] == 0, (
+            f"warm service rerun must report simulations=0, got "
+            f"{engine_stats['simulations']}")
+        assert engine_stats["disk_hits"] == len(unique)
+        # the warm grid never touched the worker fleet
+        assert backend_stats["enqueued_shards"] == 0, backend_stats
+
+    local = Engine(use_cache=False, jobs=2).run_many(specs)
+    mismatched = [spec.label() for spec in unique
+                  if remote[spec].to_dict() != local[spec].to_dict()]
+    assert not mismatched, f"remote/in-process divergence: {mismatched}"
+    print(f"[smoke] {args.phase}: worker-produced results are "
+          f"byte-identical to in-process Engine.run_many on all "
+          f"{len(unique)} specs")
+
+    payload = {spec.digest(): remote[spec].to_dict()
+               for spec in unique}
+    Path(args.out).write_text(
+        json.dumps(payload, sort_keys=True, indent=1) + "\n")
+    print(f"[smoke] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

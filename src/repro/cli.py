@@ -20,22 +20,34 @@ Subcommands:
   axes are honored.
 * ``serve`` — host the job service: an asyncio HTTP server exposing
   this engine's ``run_many``/``sweep`` with request batching and
-  in-flight dedup (see ``docs/service.md``).
+  in-flight dedup (see ``docs/service.md``).  With ``--backend
+  remote`` it also serves the ``/v1/work/*`` pull endpoints for
+  ``repro worker`` processes.
 * ``submit`` — run a declarative grid on a ``repro serve`` instance
   through the client SDK (same axes flags as ``sweep``).
-* ``cache {ls,stat,gc}`` — inspect the persistent result cache per
-  code version and garbage-collect superseded versions.
+* ``worker`` — attach to a remote-backend service and execute leased
+  shards on this machine's engine (see ``docs/backends.md``).
+* ``cache {ls,stat,gc [--dry-run]}`` — inspect the persistent result
+  cache per code version and garbage-collect superseded versions.
 
 Engine flags (accepted before or after the subcommand):
 
 * ``--jobs N`` — shard uncached simulations across N worker processes.
+* ``--backend {inline,process,remote}`` — how uncached simulations
+  execute: serially, across a local process pool (the default), or
+  dispatched to pull-based ``repro worker`` processes.  A non-serve
+  command running the remote backend hosts its work queue on
+  ``--work-port`` so workers can attach.
+* ``--lease-ttl SECONDS`` — remote backend only: how long a worker
+  may hold a shard before it is re-leased.
 * ``--cache-dir DIR`` — persistent result-cache location (default
   ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
 * ``--no-cache`` — disable the persistent cache for this invocation.
 
 Commands that simulate print an ``[engine] simulations=...`` summary
 line to stderr; a warm-cache rerun reports ``simulations=0``.
-``submit`` prints the *server's* counters as ``[service] ...`` instead.
+``submit`` prints the *server's* counters as ``[service] ...`` instead,
+and ``worker`` prints its loop counters as ``[worker] ...``.
 """
 
 from __future__ import annotations
@@ -49,9 +61,43 @@ from repro.harness import EXPERIMENTS, Runner, run_all
 from repro.workloads import CODINGS, benchmark_names
 
 
+def _make_backend(args):
+    from repro.engine import make_backend
+
+    return make_backend(args.backend, jobs=args.jobs,
+                        lease_ttl=args.lease_ttl)
+
+
 def _make_runner(args) -> Runner:
-    return Runner(seed=args.seed, jobs=args.jobs,
-                  cache_dir=args.cache_dir, use_cache=not args.no_cache)
+    runner = Runner(seed=args.seed, jobs=args.jobs,
+                    cache_dir=args.cache_dir,
+                    use_cache=not args.no_cache,
+                    backend=_make_backend(args))
+    if args.backend == "remote" and args.command != "serve":
+        _host_work_queue(args, runner)
+    return runner
+
+
+def _host_work_queue(args, runner: Runner) -> None:
+    """Expose a non-serve command's remote work queue over HTTP.
+
+    ``repro serve`` publishes its queue on its own listener; any other
+    command running the remote backend would otherwise block forever
+    with no way for a worker to reach it, so a background service is
+    hosted for the life of the process (closed at exit).
+    """
+    import atexit
+    import contextlib
+
+    from repro.service import background_server
+
+    stack = contextlib.ExitStack()
+    server = stack.enter_context(
+        background_server(runner.engine, port=args.work_port))
+    atexit.register(stack.close)
+    print(f"[backend] remote work queue at {server.url} — attach "
+          f"workers with: repro worker --url {server.url}",
+          file=sys.stderr)
 
 
 def _print_engine_summary(runner: Runner) -> None:
@@ -266,17 +312,45 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    from repro.service import ServiceError, work
+
+    if args.backend == "remote":
+        print("error: a worker executes its shards locally; run it "
+              "with --backend inline or process", file=sys.stderr)
+        return 2
+    runner = _make_runner(args)
+    try:
+        stats = work(
+            args.url, runner.engine, worker_id=args.worker_id,
+            poll_interval=args.poll_interval, max_idle=args.max_idle,
+            max_shards=args.max_shards,
+            announce=lambda wid: print(
+                f"[worker] {wid} polling {args.url}", file=sys.stderr))
+    except (ServiceError, TimeoutError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"[worker] {stats.summary()}", file=sys.stderr)
+    _print_engine_summary(runner)
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from datetime import datetime
 
     from repro.engine import ResultCache
 
+    if args.dry_run and args.action != "gc":
+        print("error: --dry-run only applies to 'cache gc'",
+              file=sys.stderr)
+        return 2
     cache = ResultCache(args.cache_dir)
     versions = cache.versions()
     if args.action == "gc":
         stale = [v for v in versions if v != cache.version]
-        removed, reclaimed = cache.gc()
-        print(f"removed {removed} entries ({reclaimed / 1024:.1f} KiB) "
+        removed, reclaimed = cache.gc(dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"{verb} {removed} entries ({reclaimed / 1024:.1f} KiB) "
               f"from {len(stale)} superseded version(s)")
         return 0
     if not versions:
@@ -308,7 +382,45 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}") from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return number
+
+
+def _positive_float(value: str) -> float:
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {value!r}") from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}")
+    return number
+
+
+def _port(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}") from None
+    if not 0 <= number <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"expected a port between 0 and 65535, got {value}")
+    return number
+
+
 def main(argv: list[str] | None = None) -> int:
+    from repro.engine import BACKEND_NAMES
+
     # Engine/runner flags are attached twice: once to the main parser
     # (with real defaults, so they work before the subcommand) and once
     # to every subparser via this parent (with SUPPRESS defaults, so
@@ -317,10 +429,25 @@ def main(argv: list[str] | None = None) -> int:
     group = common.add_argument_group("engine options")
     group.add_argument("--seed", type=int, default=argparse.SUPPRESS,
                        help="workload generation seed (default 0)")
-    group.add_argument("--jobs", "-j", type=int,
+    group.add_argument("--jobs", "-j", type=_positive_int,
                        default=argparse.SUPPRESS, metavar="N",
                        help="worker processes for uncached simulations "
-                            "(default 1 = serial)")
+                            "(default 1 = serial); also the remote "
+                            "backend's shard fan-out hint")
+    group.add_argument("--backend", choices=BACKEND_NAMES,
+                       default=argparse.SUPPRESS,
+                       help="execution backend for uncached "
+                            "simulations (default: process)")
+    group.add_argument("--lease-ttl", type=_positive_float,
+                       default=argparse.SUPPRESS, metavar="SECONDS",
+                       help="remote backend: seconds a worker may hold "
+                            "a shard before it is re-leased "
+                            "(default 30)")
+    group.add_argument("--work-port", type=_port,
+                       default=argparse.SUPPRESS, metavar="PORT",
+                       help="remote backend on a non-serve command: "
+                            "port to host the work queue on "
+                            "(default 8737, 0 picks a free one)")
     group.add_argument("--cache-dir", default=argparse.SUPPRESS,
                        metavar="DIR",
                        help="persistent result-cache directory (default "
@@ -334,7 +461,12 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduction of '3D Memory Vectorization for High "
                     "Bandwidth Media Memory Systems' (MICRO-35, 2002)")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--jobs", "-j", type=int, default=1)
+    parser.add_argument("--jobs", "-j", type=_positive_int, default=1)
+    parser.add_argument("--backend", choices=BACKEND_NAMES,
+                        default="process")
+    parser.add_argument("--lease-ttl", type=_positive_float,
+                        default=30.0)
+    parser.add_argument("--work-port", type=_port, default=8737)
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--no-cache", action="store_true", default=False)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -437,6 +569,26 @@ def main(argv: list[str] | None = None) -> int:
                           metavar="SECONDS",
                           help="give up waiting after this long")
 
+    p_worker = sub.add_parser(
+        "worker", parents=[common],
+        help="execute leased shards from a remote-backend "
+             "'repro serve'")
+    p_worker.add_argument("--url", default="http://127.0.0.1:8737",
+                          help="service base URL")
+    p_worker.add_argument("--id", dest="worker_id", default=None,
+                          metavar="NAME",
+                          help="stable worker name (default: random)")
+    p_worker.add_argument("--poll-interval", type=float, default=0.2,
+                          metavar="SECONDS",
+                          help="idle delay between lease polls")
+    p_worker.add_argument("--max-idle", type=float, default=None,
+                          metavar="SECONDS",
+                          help="exit after this long without work "
+                               "(default: poll forever)")
+    p_worker.add_argument("--max-shards", type=int, default=None,
+                          metavar="N",
+                          help="exit after completing N shards")
+
     p_cache = sub.add_parser(
         "cache", parents=[common],
         help="inspect or garbage-collect the persistent result cache")
@@ -444,6 +596,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="ls: list entries per code version; "
                               "stat: per-version totals; gc: delete "
                               "superseded code versions")
+    p_cache.add_argument("--dry-run", action="store_true",
+                         help="gc only: report what would be deleted "
+                              "without touching the disk")
 
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
@@ -451,7 +606,7 @@ def main(argv: list[str] | None = None) -> int:
                 "sweep": _cmd_sweep, "report": _cmd_report,
                 "trace": _cmd_trace, "replay": _cmd_replay,
                 "serve": _cmd_serve, "submit": _cmd_submit,
-                "cache": _cmd_cache}
+                "worker": _cmd_worker, "cache": _cmd_cache}
     try:
         return handlers[args.command](args)
     except ConfigError as exc:

@@ -7,15 +7,20 @@ The engine owns everything between "a grid of run specifications" and
   stable content digest;
 * :mod:`repro.engine.cache` — persistent on-disk result store keyed by
   spec digest + code version;
-* :mod:`repro.engine.parallel` — spec execution and
-  ``ProcessPoolExecutor`` fan-out;
+* :mod:`repro.engine.parallel` — spec-to-simulator resolution and
+  workload-grouped sharding;
+* :mod:`repro.engine.backends` — pluggable
+  :class:`~repro.engine.backends.ExecutionBackend` strategies (serial
+  inline, local process pool, remote lease-queue workers) that decide
+  *where* uncached specs simulate;
 * :mod:`repro.engine.sweep` — declarative grid construction.
 
 :class:`Engine` ties them together with a three-level lookup per spec:
 in-process memo (identity-preserving), disk cache (equality-preserving)
-and fresh simulation (parallelizable).  ``repro.harness.Runner`` is a
-thin façade over an Engine; the CLI, experiments and ablation
-benchmarks all route through it.  See ``docs/engine.md``.
+and fresh simulation through the configured backend.
+``repro.harness.Runner`` is a thin façade over an Engine; the CLI,
+experiments, the job service and ablation benchmarks all route through
+it.  See ``docs/engine.md`` and ``docs/backends.md``.
 """
 
 from __future__ import annotations
@@ -23,6 +28,15 @@ from __future__ import annotations
 import threading
 from dataclasses import asdict, dataclass
 
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    RemoteBackend,
+    WorkQueue,
+    make_backend,
+)
 from repro.engine.cache import ResultCache, code_version, default_cache_root
 from repro.engine.keys import RunSpec
 from repro.engine.parallel import (
@@ -32,6 +46,7 @@ from repro.engine.parallel import (
     build_workload,
     execute_spec,
     register_trace,
+    shard_specs,
     simulate_many,
     validate_spec,
 )
@@ -44,7 +59,7 @@ from repro.workloads import BuiltWorkload
 class EngineStats:
     """What the engine did this session (the cache-hit evidence)."""
 
-    #: fresh simulations actually executed
+    #: fresh simulations actually executed (wherever they ran)
     simulations: int = 0
     #: results served from the in-process memo
     memo_hits: int = 0
@@ -52,11 +67,13 @@ class EngineStats:
     disk_hits: int = 0
     #: results written to the persistent cache
     stores: int = 0
+    #: backend ``execute`` calls issued for uncached specs
+    dispatches: int = 0
 
     def summary(self) -> str:
         return (f"simulations={self.simulations} "
                 f"disk-hits={self.disk_hits} memo-hits={self.memo_hits} "
-                f"stores={self.stores}")
+                f"stores={self.stores} dispatches={self.dispatches}")
 
     def to_dict(self) -> dict:
         """Plain-data counters (the service's ``/v1/stats`` payload)."""
@@ -64,7 +81,7 @@ class EngineStats:
 
 
 class Engine:
-    """Cache- and parallelism-backed simulation orchestrator.
+    """Cache- and backend-backed simulation orchestrator.
 
     One Engine may be shared by several threads (the service scheduler
     resolves batches on executor threads): the memo, the stats counters
@@ -73,12 +90,23 @@ class Engine:
     object for equal specs.  Simulations themselves always run outside
     the lock — concurrent lookups never wait on a running simulation
     (in-flight dedup is the scheduler's job, not the engine's).
+
+    ``backend`` decides where uncached specs execute: an
+    :class:`~repro.engine.backends.ExecutionBackend` instance, a name
+    (``"inline"``/``"process"``/``"remote"``), or None for the
+    historical default — a local process pool sized by ``jobs``.
     """
 
     def __init__(self, seed: int = 0, jobs: int = 1,
-                 cache_dir=None, use_cache: bool = True):
+                 cache_dir=None, use_cache: bool = True,
+                 backend: ExecutionBackend | str | None = None):
         self.seed = seed
         self.jobs = jobs
+        if backend is None:
+            backend = ProcessBackend(jobs=jobs)
+        elif isinstance(backend, str):
+            backend = make_backend(backend, jobs=jobs)
+        self.backend: ExecutionBackend = backend
         self.cache: ResultCache | None = (
             ResultCache(cache_dir) if use_cache else None)
         self.stats = EngineStats()
@@ -110,17 +138,21 @@ class Engine:
         hit = self._lookup(spec)
         if hit is not None:
             return hit
-        stats = execute_spec(spec)
+        with self._lock:
+            self.stats.dispatches += 1
+        stats = self.backend.execute([spec], jobs=1)[spec]
         with self._lock:
             self.stats.simulations += 1
         return self._admit(spec, stats)
 
     def run_many(self, specs, jobs: int | None = None
                  ) -> dict[RunSpec, RunStats]:
-        """Resolve a whole grid, fanning uncached specs across workers.
+        """Resolve a whole grid, dispatching uncached specs through the
+        engine's execution backend.
 
         Returns a dict keyed by spec covering every input (duplicates
-        collapse).  ``jobs`` defaults to the engine's setting.
+        collapse).  ``jobs`` defaults to the engine's setting and is a
+        parallelism/fan-out hint the backend may ignore.
         """
         jobs = self.jobs if jobs is None else jobs
         specs = list(dict.fromkeys(specs))  # dedupe, keep order
@@ -133,7 +165,9 @@ class Engine:
             else:
                 pending.append(spec)
         if pending:
-            fresh = simulate_many(pending, jobs=jobs)
+            with self._lock:
+                self.stats.dispatches += 1
+            fresh = self.backend.execute(pending, jobs=jobs)
             with self._lock:
                 self.stats.simulations += len(fresh)
             for spec, stats in fresh.items():
@@ -186,17 +220,21 @@ class Engine:
         return stats
 
 
-def run_many(specs, jobs: int = 1, cache_dir=None, use_cache: bool = True
+def run_many(specs, jobs: int = 1, cache_dir=None, use_cache: bool = True,
+             backend: ExecutionBackend | str | None = None
              ) -> dict[RunSpec, RunStats]:
     """One-shot convenience: resolve a grid with an ephemeral Engine."""
-    engine = Engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+    engine = Engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+                    backend=backend)
     return engine.run_many(specs)
 
 
 __all__ = [
-    "Engine", "EngineStats", "ResultCache", "RunSpec", "Sweep",
-    "axes_product", "build_configs", "build_memsys", "build_processor",
-    "build_workload", "code_version", "default_cache_root",
-    "execute_spec", "register_trace", "run_many", "simulate_many",
+    "BACKEND_NAMES", "Engine", "EngineStats", "ExecutionBackend",
+    "InlineBackend", "ProcessBackend", "RemoteBackend", "ResultCache",
+    "RunSpec", "Sweep", "WorkQueue", "axes_product", "build_configs",
+    "build_memsys", "build_processor", "build_workload", "code_version",
+    "default_cache_root", "execute_spec", "make_backend",
+    "register_trace", "run_many", "shard_specs", "simulate_many",
     "validate_spec",
 ]

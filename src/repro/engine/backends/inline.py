@@ -1,0 +1,42 @@
+"""Serial in-process execution backend."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.keys import RunSpec
+from repro.engine.parallel import execute_spec
+from repro.timing.stats import RunStats
+
+
+class InlineBackend:
+    """Execute every spec serially on the calling thread.
+
+    The zero-overhead baseline: no sharding, no serialization, no
+    worker handoff — exactly what ``simulate_many(jobs=1)`` always
+    did.  Counters are lock-guarded because one engine (and therefore
+    one backend) may be shared by the service's executor threads.
+    """
+
+    name = "inline"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._dispatches = 0
+        self._executed = 0
+
+    def execute(self, specs: list[RunSpec], jobs: int | None = None
+                ) -> dict[RunSpec, RunStats]:
+        results = {spec: execute_spec(spec) for spec in specs}
+        with self._lock:
+            self._dispatches += 1
+            self._executed += len(results)
+        return results
+
+    def counters(self) -> dict:
+        with self._lock:
+            return {"dispatches": self._dispatches,
+                    "executed": self._executed}
+
+    def close(self) -> None:
+        pass

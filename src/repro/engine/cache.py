@@ -210,7 +210,7 @@ class ResultCache:
             child.is_file() and child.suffix in (".json", ".tmp")
             for child in children)
 
-    def gc(self) -> tuple[int, int]:
+    def gc(self, dry_run: bool = False) -> tuple[int, int]:
         """Delete every superseded code-version namespace.
 
         Returns ``(entries removed, bytes reclaimed)``.  The active
@@ -218,6 +218,10 @@ class ResultCache:
         removed namespaces count toward the totals.  Directories that
         do not look like cache namespaces (anything beyond
         ``*.json``/``*.tmp`` files inside) are left alone.
+
+        With ``dry_run=True`` nothing is unlinked: the returned totals
+        describe what a real ``gc`` *would* delete (files that vanish
+        or appear between the two calls can shift the numbers).
         """
         removed = reclaimed = 0
         for version in self.versions():
@@ -229,13 +233,15 @@ class ResultCache:
             for path in sorted(directory.iterdir()):
                 try:
                     size = path.stat().st_size
-                    path.unlink()
+                    if not dry_run:
+                        path.unlink()
                 except OSError:
                     continue
                 removed += 1
                 reclaimed += size
-            try:
-                directory.rmdir()
-            except OSError:
-                pass
+            if not dry_run:
+                try:
+                    directory.rmdir()
+                except OSError:
+                    pass
         return removed, reclaimed

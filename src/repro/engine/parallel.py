@@ -1,16 +1,19 @@
-"""Spec execution and process-parallel fan-out.
+"""Spec execution: resolving a RunSpec into one simulation.
 
 This module owns the mapping from a :class:`~repro.engine.keys.RunSpec`
 to concrete simulator objects (processor config, memory system,
-workload trace) and the :func:`simulate_many` primitive that shards a
-list of specs across a ``ProcessPoolExecutor``.
+workload trace) and the :func:`shard_specs` partitioner that groups
+specs sharing a workload trace.  *How* a list of specs is executed —
+serially, across a local process pool, or on remote workers — is the
+job of :mod:`repro.engine.backends`; :func:`simulate_many` survives as
+a thin compatibility wrapper over the process backend.
 
-Workers ship results back as ``RunStats.to_dict`` payloads — the same
-lossless form the disk cache stores — so parallel execution is
+Backends ship results around as ``RunStats.to_dict`` payloads — the
+same lossless form the disk cache stores — so parallel execution is
 bit-identical to serial execution by construction (each simulation is
-deterministic and independent).  Each worker process memoizes built
+deterministic and independent).  Each process memoizes built
 workloads, so a grid over many memory systems/latencies builds each
-``(benchmark, coding, seed)`` trace only once per worker.
+``(benchmark, coding, seed)`` trace only once per process.
 """
 
 from __future__ import annotations
@@ -18,7 +21,6 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import fields, replace
 from pathlib import Path
 from typing import get_type_hints
@@ -280,41 +282,42 @@ def execute_spec(spec: RunSpec) -> RunStats:
                     model=model)
 
 
-def _trace_paths_for(specs) -> tuple[tuple[str, str], ...]:
-    """The ``register_trace`` entries a shard's worker will need."""
+def trace_paths_for(specs) -> tuple[tuple[str, str], ...]:
+    """The ``register_trace`` entries a shard's executor will need."""
     digests = {spec.benchmark[len(TRACE_PREFIX):] for spec in specs
                if spec.benchmark.startswith(TRACE_PREFIX)}
     return tuple((digest, _TRACE_PATHS[digest]) for digest in
                  sorted(digests) if digest in _TRACE_PATHS)
 
 
-def _worker(specs: tuple[RunSpec, ...],
-            trace_paths: tuple[tuple[str, str], ...] = ()) -> list[dict]:
-    """Pool entry point: execute a shard, return plain-data stats.
+def restore_trace_paths(pairs) -> None:
+    """Re-register ``(digest, path)`` pairs in this process.
 
-    A shard holds specs sharing one ``(benchmark, coding, seed)`` so
-    the (comparatively expensive) trace build happens once per shard.
-    ``trace_paths`` re-registers the parent's saved-trace paths in the
-    worker process (required under the spawn start method, where the
-    parent's module state is not inherited).
+    Pool workers (which inherit nothing under the spawn start method)
+    call this with the parent's :func:`trace_paths_for` output before
+    executing a shard of ``trace:`` specs.
     """
-    _TRACE_PATHS.update(trace_paths)
-    return [execute_spec(spec).to_dict() for spec in specs]
+    _TRACE_PATHS.update(pairs)
 
 
-def _shard(specs: list[RunSpec], jobs: int) -> list[list[RunSpec]]:
-    """Partition specs into worker tasks.
+def shard_specs(specs: list[RunSpec], jobs: int) -> list[list[RunSpec]]:
+    """Partition specs into at least ``jobs`` execution shards.
 
-    Specs sharing a workload trace stay together (one build per task);
-    when that yields fewer tasks than workers, the largest shards split
-    until every worker has something to do.
+    Specs sharing a workload trace stay together (one build per
+    shard); when that yields fewer shards than ``jobs``, the largest
+    shards split until every worker has something to do (or no shard
+    can split further).  Never returns an empty shard: asking for more
+    shards than there are specs simply yields one spec per shard, and
+    an empty spec list yields no shards at all.
     """
+    if jobs <= 0:
+        raise ValueError(f"jobs must be a positive integer, got {jobs}")
     groups: dict[tuple, list[RunSpec]] = {}
     for spec in specs:
         key = (spec.benchmark, spec.coding, spec.seed)
         groups.setdefault(key, []).append(spec)
     shards = list(groups.values())
-    while len(shards) < jobs:
+    while shards and len(shards) < jobs:
         biggest = max(shards, key=len)
         if len(biggest) <= 1:
             break
@@ -328,20 +331,12 @@ def simulate_many(specs: list[RunSpec], jobs: int = 1
                   ) -> dict[RunSpec, RunStats]:
     """Simulate every spec, fanning out across ``jobs`` processes.
 
-    ``jobs <= 1`` runs serially in-process.  Results are keyed by spec;
-    parallel results pass through the lossless dict form, so they
-    compare equal to serial ones.
+    Compatibility wrapper over
+    :class:`repro.engine.backends.ProcessBackend` (where the pool
+    moved); ``jobs <= 1`` runs serially in-process.  Results are keyed
+    by spec; parallel results pass through the lossless dict form, so
+    they compare equal to serial ones.
     """
-    specs = list(specs)
-    if jobs <= 1 or len(specs) <= 1:
-        return {spec: execute_spec(spec) for spec in specs}
-    shards = _shard(specs, jobs)
-    results: dict[RunSpec, RunStats] = {}
-    with ProcessPoolExecutor(max_workers=min(jobs, len(shards))) as pool:
-        futures = [(shard, pool.submit(_worker, tuple(shard),
-                                       _trace_paths_for(shard)))
-                   for shard in shards]
-        for shard, future in futures:
-            for spec, payload in zip(shard, future.result()):
-                results[spec] = RunStats.from_dict(payload)
-    return results
+    from repro.engine.backends.process import ProcessBackend
+
+    return ProcessBackend(jobs=jobs).execute(specs)

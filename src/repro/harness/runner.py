@@ -19,12 +19,13 @@ class Runner:
     """Builds workloads and runs timing simulations via the engine."""
 
     def __init__(self, seed: int = 0, engine: Engine | None = None,
-                 jobs: int = 1, cache_dir=None, use_cache: bool = True):
+                 jobs: int = 1, cache_dir=None, use_cache: bool = True,
+                 backend=None):
         if engine is not None:
             self.engine = engine
         else:
             self.engine = Engine(seed=seed, jobs=jobs, cache_dir=cache_dir,
-                                 use_cache=use_cache)
+                                 use_cache=use_cache, backend=backend)
         self.seed = self.engine.seed
 
     def workload(self, benchmark: str, coding: str) -> BuiltWorkload:

@@ -12,10 +12,15 @@ The execution API, redesigned around *jobs* instead of direct calls:
   (``POST /v1/jobs``, ``GET /v1/jobs/<id>``, ``/v1/health``,
   ``/v1/stats``);
 * :mod:`repro.service.client` — blocking ``ServiceClient`` SDK whose
-  ``run_many``/``sweep`` return the in-process engine's result shape.
+  ``run_many``/``sweep`` return the in-process engine's result shape;
+* :mod:`repro.service.worker` — the pull-based ``ServiceWorker`` loop
+  behind ``repro worker`` (lease a shard, simulate locally, upload —
+  the execution half of the engine's remote backend).
 
-``repro serve`` hosts it; ``repro submit`` talks to it.  See
-``docs/service.md`` for endpoints, wire schema and batching semantics.
+``repro serve`` hosts it; ``repro submit`` talks to it; ``repro
+worker`` executes for it.  See ``docs/service.md`` for endpoints, wire
+schema and batching semantics, and ``docs/backends.md`` for the worker
+protocol.
 """
 
 from repro.service.client import ServiceClient, ServiceError
@@ -31,12 +36,16 @@ from repro.service.schema import (
     JobRequest,
     JobResult,
     SchemaError,
+    WorkCompletion,
+    WorkLeaseGrant,
 )
 from repro.service.server import ServiceServer, background_server, serve
+from repro.service.worker import ServiceWorker, WorkerStats, work
 
 __all__ = [
     "SCHEMA_VERSION", "BatchScheduler", "ErrorReply", "Job",
     "JobRequest", "JobResult", "JobStore", "SchedulerStats",
     "SchemaError", "ServiceClient", "ServiceError", "ServiceServer",
-    "background_server", "serve",
+    "ServiceWorker", "WorkCompletion", "WorkLeaseGrant", "WorkerStats",
+    "background_server", "serve", "work",
 ]

@@ -29,6 +29,8 @@ from repro.service.schema import (
     JobRequest,
     JobResult,
     SchemaError,
+    WorkCompletion,
+    WorkLeaseGrant,
 )
 from repro.timing.stats import RunStats
 
@@ -148,6 +150,34 @@ class ServiceClient:
                 raise TimeoutError(
                     f"job {job_id} still running after {timeout:.0f}s")
             time.sleep(self.poll_interval)
+
+    # -- worker pull protocol (remote execution backend) -------------------
+
+    def lease_work(self, worker_id: str) -> WorkLeaseGrant | None:
+        """Poll for one shard of work; None when the queue is idle.
+
+        Only meaningful against ``repro serve --backend remote`` — any
+        other server answers 404 ``no-work-queue`` (raised as
+        :class:`ServiceError`).
+        """
+        data = self._request("POST", "/v1/work/lease", {
+            "schema_version": SCHEMA_VERSION, "worker_id": worker_id})
+        raw = data.get("lease")
+        if raw is None:
+            return None
+        return WorkLeaseGrant.from_wire(raw)
+
+    def complete_work(self, worker_id: str, grant: WorkLeaseGrant,
+                      results: Mapping[RunSpec, RunStats]) -> dict:
+        """Upload a leased shard's results; returns the server's
+        ``{accepted, fresh, duplicate}`` acknowledgment."""
+        completion = WorkCompletion(
+            worker_id=worker_id, lease_id=grant.lease_id,
+            shard_id=grant.shard_id,
+            results=tuple((spec, results[spec])
+                          for spec in grant.specs))
+        return self._request("POST", "/v1/work/complete",
+                             completion.to_wire())
 
     # -- engine-shaped conveniences ---------------------------------------
 

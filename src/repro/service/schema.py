@@ -9,6 +9,10 @@ JSON-serializable dicts:
 * :class:`JobResult` — a job snapshot: id, status, and — once done —
   one ``{spec, stats}`` entry per unique submitted spec, in submission
   order;
+* :class:`WorkLeaseGrant` / :class:`WorkCompletion` — the pull-based
+  worker protocol behind ``POST /v1/work/lease`` and
+  ``POST /v1/work/complete`` (remote execution backend; see
+  ``docs/backends.md``);
 * :class:`ErrorReply` — every non-2xx body: a machine-readable code, a
   human-readable message, and per-field structured errors.
 
@@ -379,6 +383,107 @@ class JobResult:
             results = tuple(results)
         return cls(job_id=job_id, status=status, results=results,
                    error=error)
+
+
+# -- worker protocol -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkLeaseGrant:
+    """One shard handed to a worker by ``POST /v1/work/lease``.
+
+    ``lease_id`` names this grant (a re-lease of the same shard gets a
+    fresh one); ``ttl`` is how many seconds the worker has to complete
+    before the shard is offered to someone else.
+    """
+
+    lease_id: str
+    shard_id: str
+    ttl: float
+    specs: tuple[RunSpec, ...]
+
+    def to_wire(self) -> dict:
+        return {
+            "lease_id": self.lease_id,
+            "shard_id": self.shard_id,
+            "ttl": self.ttl,
+            "specs": [spec_to_wire(spec) for spec in self.specs],
+        }
+
+    @classmethod
+    def from_wire(cls, payload, path: str = "$.lease"
+                  ) -> "WorkLeaseGrant":
+        payload = _require_mapping(payload, path)
+        lease_id = _get_typed(payload, "lease_id", str, path, _REQUIRED)
+        shard_id = _get_typed(payload, "shard_id", str, path, _REQUIRED)
+        ttl = _get_typed(payload, "ttl", (int, float), path, _REQUIRED)
+        raw = _get_typed(payload, "specs", Sequence, path, _REQUIRED)
+        if isinstance(raw, str) or not raw:
+            raise _fail(f"{path}.specs",
+                        "expected a non-empty list of spec objects")
+        specs = tuple(spec_from_wire(item, f"{path}.specs[{i}]")
+                      for i, item in enumerate(raw))
+        return cls(lease_id=lease_id, shard_id=shard_id,
+                   ttl=float(ttl), specs=specs)
+
+
+def work_lease_request_from_wire(payload) -> str:
+    """Decode a lease request; returns the polling ``worker_id``."""
+    payload = _require_mapping(payload, "$")
+    check_schema_version(payload)
+    worker_id = _get_typed(payload, "worker_id", str, "$", _REQUIRED)
+    if not worker_id:
+        raise _fail("$.worker_id", "worker_id must be non-empty")
+    return worker_id
+
+
+@dataclass(frozen=True)
+class WorkCompletion:
+    """A worker's upload for one leased shard.
+
+    Carries one ``{spec, stats}`` entry per spec of the shard; the
+    server admits them into the shared content-addressed cache exactly
+    once (duplicate completions — e.g. after a lease expired and the
+    shard was re-leased — are acknowledged but ignored).
+    """
+
+    worker_id: str
+    lease_id: str
+    shard_id: str
+    results: tuple[tuple[RunSpec, RunStats], ...]
+
+    def to_wire(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "worker_id": self.worker_id,
+            "lease_id": self.lease_id,
+            "shard_id": self.shard_id,
+            "results": [{"spec": spec_to_wire(spec),
+                         "stats": stats_to_wire(stats)}
+                        for spec, stats in self.results],
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "WorkCompletion":
+        payload = _require_mapping(payload, "$")
+        check_schema_version(payload)
+        worker_id = _get_typed(payload, "worker_id", str, "$", _REQUIRED)
+        lease_id = _get_typed(payload, "lease_id", str, "$", _REQUIRED)
+        shard_id = _get_typed(payload, "shard_id", str, "$", _REQUIRED)
+        raw = _get_typed(payload, "results", Sequence, "$", _REQUIRED)
+        if isinstance(raw, str) or not raw:
+            raise _fail("$.results",
+                        "expected a non-empty list of results")
+        results = []
+        for i, item in enumerate(raw):
+            item = _require_mapping(item, f"$.results[{i}]")
+            spec = spec_from_wire(item.get("spec"),
+                                  f"$.results[{i}].spec")
+            stats = stats_from_wire(item.get("stats"),
+                                    f"$.results[{i}].stats")
+            results.append((spec, stats))
+        return cls(worker_id=worker_id, lease_id=lease_id,
+                   shard_id=shard_id, results=tuple(results))
 
 
 # -- errors ----------------------------------------------------------------

@@ -10,8 +10,13 @@ No third-party dependencies: requests are parsed straight off an
 * ``GET /v1/jobs/<id>`` — job status; includes per-spec results once
   ``status == "done"``.
 * ``GET /v1/health`` — liveness probe.
-* ``GET /v1/stats`` — engine counters (simulations / hits / stores),
-  scheduler coalescing counters, and result-cache occupancy.
+* ``GET /v1/stats`` — engine counters (simulations / hits / stores /
+  dispatches), execution-backend counters, scheduler coalescing
+  counters, and result-cache occupancy.
+* ``POST /v1/work/lease`` / ``POST /v1/work/complete`` — the pull
+  protocol for ``repro worker`` processes, available when the engine
+  runs the remote execution backend (``repro serve --backend
+  remote``); see ``docs/backends.md``.
 
 Every non-2xx body is a structured :class:`ErrorReply` — client
 payload mistakes come back as 4xx with per-field errors, never as a
@@ -28,6 +33,7 @@ import threading
 from typing import Awaitable, Callable
 
 from repro.engine import Engine
+from repro.engine.backends.workqueue import WorkQueue, WorkQueueError
 from repro.service.scheduler import (
     BatchScheduler,
     Job,
@@ -39,6 +45,9 @@ from repro.service.schema import (
     ErrorReply,
     JobRequest,
     SchemaError,
+    WorkCompletion,
+    WorkLeaseGrant,
+    work_lease_request_from_wire,
 )
 
 _MAX_BODY = 8 << 20  # 8 MiB of JSON is far beyond any real grid
@@ -203,6 +212,12 @@ class ServiceServer:
         if path.startswith("/v1/jobs/"):
             self._require_method(method, "GET", path)
             return self._get_job(path[len("/v1/jobs/"):])
+        if path == "/v1/work/lease":
+            self._require_method(method, "POST", path)
+            return self._post_work_lease(body)
+        if path == "/v1/work/complete":
+            self._require_method(method, "POST", path)
+            return self._post_work_complete(body)
         if path == "/v1/health":
             self._require_method(method, "GET", path)
             return 200, {"schema_version": SCHEMA_VERSION,
@@ -222,14 +237,18 @@ class ServiceServer:
 
     # -- endpoints ---------------------------------------------------------
 
-    async def _post_job(self, body: bytes) -> tuple[int, dict]:
+    @staticmethod
+    def _parse_json(body: bytes) -> dict:
         try:
-            payload = json.loads(body.decode("utf-8"))
+            return json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise _HttpReply(400, ErrorReply(
                 code="bad-json",
                 message=f"request body is not valid JSON: {exc}"
             )) from None
+
+    async def _post_job(self, body: bytes) -> tuple[int, dict]:
+        payload = self._parse_json(body)
         try:
             request = JobRequest.from_wire(payload)
         except SchemaError as exc:
@@ -258,11 +277,65 @@ class ServiceServer:
             job.served = True
         return 200, snapshot.to_wire()
 
+    # -- the worker pull protocol (remote execution backend) ---------------
+
+    def _work_queue(self) -> WorkQueue:
+        """The engine backend's lease queue, or a structured 404.
+
+        Only the remote backend exposes one; polling a service whose
+        engine executes locally is a configuration mistake a worker
+        should fail fast on.
+        """
+        queue = getattr(self.engine.backend, "queue", None)
+        if not isinstance(queue, WorkQueue):
+            raise _HttpReply(404, ErrorReply(
+                code="no-work-queue",
+                message=f"this server's engine runs the "
+                        f"{self.engine.backend.name!r} backend; only "
+                        f"'repro serve --backend remote' serves "
+                        f"workers"))
+        return queue
+
+    def _post_work_lease(self, body: bytes) -> tuple[int, dict]:
+        queue = self._work_queue()
+        try:
+            worker_id = work_lease_request_from_wire(
+                self._parse_json(body))
+        except SchemaError as exc:
+            raise _HttpReply(
+                400, ErrorReply.from_schema_error(exc)) from None
+        lease = queue.lease(worker_id)
+        grant = None
+        if lease is not None:
+            grant = WorkLeaseGrant(
+                lease_id=lease.lease_id, shard_id=lease.shard.shard_id,
+                ttl=lease.ttl, specs=lease.shard.specs).to_wire()
+        return 200, {"schema_version": SCHEMA_VERSION, "lease": grant}
+
+    def _post_work_complete(self, body: bytes) -> tuple[int, dict]:
+        queue = self._work_queue()
+        try:
+            completion = WorkCompletion.from_wire(self._parse_json(body))
+        except SchemaError as exc:
+            raise _HttpReply(
+                400, ErrorReply.from_schema_error(exc)) from None
+        try:
+            fresh, duplicate = queue.complete(
+                completion.shard_id, completion.lease_id,
+                dict(completion.results))
+        except WorkQueueError as exc:
+            raise _HttpReply(400, ErrorReply(
+                code="invalid-work", message=str(exc))) from None
+        return 200, {"schema_version": SCHEMA_VERSION, "accepted": True,
+                     "fresh": fresh, "duplicate": duplicate}
+
     def _stats_payload(self) -> dict:
         cache = self.engine.cache
+        backend = self.engine.backend
         return {
             "schema_version": SCHEMA_VERSION,
             "engine": self.engine.stats.to_dict(),
+            "backend": {"name": backend.name, **backend.counters()},
             "scheduler": self.scheduler.stats.to_dict(),
             "cache": {
                 "enabled": cache is not None,

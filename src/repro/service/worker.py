@@ -1,0 +1,157 @@
+"""Pull-based simulation worker (the ``repro worker`` subcommand).
+
+A :class:`ServiceWorker` attaches to a ``repro serve --backend remote``
+instance and loops: lease one shard over ``POST /v1/work/lease``,
+resolve its specs on the *local* engine (which brings the worker's own
+memo, disk cache and process pool to bear), upload the ``RunStats``
+through ``POST /v1/work/complete``, repeat.  Any number of workers may
+attach to one service; the server's lease queue guarantees each shard
+is admitted exactly once no matter how many workers race or die
+mid-shard (see ``docs/backends.md``).
+
+Transient transport errors — the server restarting, a dropped
+connection — are retried with a backoff instead of killing the loop,
+so a worker fleet survives a rolling service restart.  A server
+*without* a work queue (wrong ``--backend``) is a configuration
+mistake and raises immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import asdict, dataclass
+
+from repro.engine import Engine
+from repro.service.client import ServiceClient, ServiceError
+
+
+@dataclass
+class WorkerStats:
+    """What one worker loop did (mirrored in its ``[worker]`` line)."""
+
+    #: shards leased to this worker
+    leases: int = 0
+    #: shards completed and acknowledged by the server
+    completions: int = 0
+    #: specs resolved on the local engine across all shards
+    specs: int = 0
+    #: specs the server had already admitted when this worker's
+    #: completion arrived (another worker finished the shard first)
+    duplicate_specs: int = 0
+    #: lease polls that found no work
+    idle_polls: int = 0
+    #: transient transport errors survived
+    errors: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        return (f"leases={self.leases} completions={self.completions} "
+                f"specs={self.specs} "
+                f"duplicate-specs={self.duplicate_specs} "
+                f"idle-polls={self.idle_polls} errors={self.errors}")
+
+
+class ServiceWorker:
+    """One lease/simulate/upload loop against a remote-backend server.
+
+    ``max_idle`` (seconds without obtaining work, unreachable server
+    included) and ``max_shards`` bound the loop for tests and batch
+    jobs; both default to unbounded — a production worker polls
+    forever until :meth:`stop` or SIGINT.
+    """
+
+    def __init__(self, url: str, engine: Engine | None = None, *,
+                 worker_id: str | None = None,
+                 poll_interval: float = 0.2,
+                 retry_backoff: float = 1.0,
+                 max_idle: float | None = None,
+                 max_shards: int | None = None):
+        self.client = ServiceClient(url)
+        self.engine = engine if engine is not None else Engine()
+        self.worker_id = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
+        self.poll_interval = poll_interval
+        self.retry_backoff = retry_backoff
+        self.max_idle = max_idle
+        self.max_shards = max_shards
+        self.stats = WorkerStats()
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the loop to exit after its current shard."""
+        self._stop.set()
+
+    def run(self) -> WorkerStats:
+        """Poll until stopped (or an idle/shard bound is reached)."""
+        idle_since = time.monotonic()
+        while not self._stop.is_set():
+            try:
+                grant = self.client.lease_work(self.worker_id)
+            except ServiceError as exc:
+                if exc.reply is not None and \
+                        exc.reply.code == "no-work-queue":
+                    raise  # misconfigured target; retrying cannot help
+                if self._idle_pause(idle_since, self.retry_backoff,
+                                    error=True):
+                    break
+                continue
+            except OSError:
+                # connection refused/reset: the server may be
+                # restarting — keep polling until max_idle gives up
+                if self._idle_pause(idle_since, self.retry_backoff,
+                                    error=True):
+                    break
+                continue
+            if grant is None:
+                if self._idle_pause(idle_since, self.poll_interval):
+                    break
+                continue
+            self.stats.leases += 1
+            results = self.engine.run_many(grant.specs)
+            try:
+                reply = self.client.complete_work(self.worker_id, grant,
+                                                  results)
+            except (ServiceError, OSError):
+                # lost upload: the lease will expire and another
+                # worker (or this one) will redo the shard
+                self.stats.errors += 1
+            else:
+                self.stats.completions += 1
+                self.stats.specs += len(grant.specs)
+                self.stats.duplicate_specs += \
+                    int(reply.get("duplicate", 0) or 0)
+                if self.max_shards is not None and \
+                        self.stats.completions >= self.max_shards:
+                    break
+            # the shard kept this worker busy the whole time, however
+            # long it simulated: the idle budget restarts only now
+            idle_since = time.monotonic()
+        return self.stats
+
+    def _idle_pause(self, idle_since: float, pause: float,
+                    error: bool = False) -> bool:
+        """Sleep between polls; True when the idle budget is spent."""
+        if error:
+            self.stats.errors += 1
+        else:
+            self.stats.idle_polls += 1
+        if self.max_idle is not None and \
+                time.monotonic() - idle_since + pause > self.max_idle:
+            return True
+        # wait on the stop event so stop() interrupts the pause
+        return self._stop.wait(pause)
+
+
+def work(url: str, engine: Engine | None = None,
+         announce=None, **kwargs) -> WorkerStats:
+    """Blocking entry point (the ``repro worker`` subcommand)."""
+    worker = ServiceWorker(url, engine, **kwargs)
+    if announce is not None:
+        announce(worker.worker_id)
+    try:
+        return worker.run()
+    except KeyboardInterrupt:
+        return worker.stats

@@ -202,6 +202,26 @@ def test_cache_management_versions_entries_gc(tmp_path):
     assert old.get(spec) is None
 
 
+def test_cache_gc_dry_run_reports_without_deleting(tmp_path):
+    spec = RunSpec(BENCH, "mom", "vector")
+    current = ResultCache(tmp_path, version="v-new")
+    current.put(spec, RunStats(name="x"))
+    old = ResultCache(tmp_path, version="v-old")
+    old.put(spec, RunStats(name="y"))
+    old.put(RunSpec(BENCH, "mom3d", "vector"), RunStats(name="z"))
+
+    would_remove, would_reclaim = current.gc(dry_run=True)
+    assert would_remove == 2 and would_reclaim > 0
+    # nothing was touched: both versions still fully present
+    assert current.versions() == ["v-new", "v-old"]
+    assert old.get(spec) is not None
+
+    # a real gc then deletes exactly what the dry run promised
+    removed, reclaimed = current.gc()
+    assert (removed, reclaimed) == (would_remove, would_reclaim)
+    assert current.versions() == ["v-new"]
+
+
 def test_cache_entries_list_unreadable_files(tmp_path):
     cache = ResultCache(tmp_path, version="v")
     cache.dir.mkdir(parents=True)
@@ -249,6 +269,48 @@ def test_engine_without_cache_simulates_once_per_spec(tmp_path):
     assert engine.run(spec) is first
     assert engine.stats.simulations == 1
     assert engine.stats.stores == 0
+
+
+# --- sharding -----------------------------------------------------------------
+
+
+def test_shard_specs_rejects_non_positive_jobs():
+    from repro.engine import shard_specs
+
+    specs = [RunSpec(BENCH, "mom", "ideal")]
+    for jobs in (0, -1, -100):
+        with pytest.raises(ValueError, match="positive"):
+            shard_specs(specs, jobs)
+
+
+def test_shard_specs_empty_and_oversubscribed():
+    from repro.engine import shard_specs
+
+    # no specs -> no shards (and no crash), whatever jobs says
+    assert shard_specs([], 1) == []
+    assert shard_specs([], 8) == []
+
+    # more jobs than specs must never yield an empty shard
+    sweep = Sweep(benchmarks=(BENCH,), codings=("mom", "mom3d"),
+                  memsystems=("vector",), l2_latencies=(20, 40))
+    specs = sweep.specs()
+    shards = shard_specs(specs, 32)
+    assert all(shards), "no shard may be empty"
+    flattened = [spec for shard in shards for spec in shard]
+    assert sorted(flattened, key=str) == sorted(specs, key=str)
+
+
+def test_shard_specs_groups_by_workload():
+    from repro.engine import shard_specs
+
+    sweep = Sweep(benchmarks=(BENCH, "jpeg_encode"),
+                  codings=("mom",), memsystems=("vector", "multibank"),
+                  l2_latencies=(20, 40))
+    shards = shard_specs(sweep.specs(), 2)
+    assert len(shards) == 2  # one per (benchmark, coding, seed) group
+    for shard in shards:
+        keys = {(s.benchmark, s.coding, s.seed) for s in shard}
+        assert len(keys) == 1
 
 
 # --- parallel determinism -----------------------------------------------------

@@ -40,9 +40,10 @@ def test_health_and_stats_shape(service):
     stats = client.stats()
     assert stats["schema_version"] == SCHEMA_VERSION
     assert set(stats["engine"]) == {"simulations", "memo_hits",
-                                    "disk_hits", "stores"}
+                                    "disk_hits", "stores", "dispatches"}
     assert set(stats["scheduler"]) == {"submitted", "coalesced",
                                        "batches", "batched_specs"}
+    assert stats["backend"]["name"] == "process"
     assert stats["cache"]["enabled"] is True
 
 
@@ -227,6 +228,57 @@ def test_schema_version_mismatch_400(service):
     assert status == 400
     assert "unsupported schema version" in \
         json.loads(body)["error"]["message"]
+
+
+def test_work_endpoints_404_without_remote_backend(service):
+    """A local-backend service has no work queue: workers asking for
+    shards must get a structured refusal, not an empty lease."""
+    server, client, _cache = service
+    payload = json.dumps({"schema_version": SCHEMA_VERSION,
+                          "worker_id": "w1"}).encode()
+    status, body = _raw(server, "POST", "/v1/work/lease", body=payload)
+    assert status == 404
+    assert json.loads(body)["error"]["code"] == "no-work-queue"
+    with pytest.raises(ServiceError) as excinfo:
+        client.lease_work("w1")
+    assert excinfo.value.reply.code == "no-work-queue"
+
+
+def test_work_lease_rejects_malformed_payload():
+    from repro.engine import Engine, RemoteBackend
+
+    engine = Engine(use_cache=False,
+                    backend=RemoteBackend(wait_timeout=5))
+    with background_server(engine) as server:
+        payload = json.dumps({"schema_version": SCHEMA_VERSION}).encode()
+        status, body = _raw(server, "POST", "/v1/work/lease",
+                            body=payload)
+        assert status == 400
+        error = json.loads(body)["error"]
+        assert error["errors"][0]["path"] == "$.worker_id"
+
+        completion = json.dumps({
+            "schema_version": SCHEMA_VERSION, "worker_id": "w1",
+            "lease_id": "nope", "shard_id": "nope",
+            "results": [{"spec": {"benchmark": BENCH, "coding": "mom"},
+                         "stats": {}}]}).encode()
+        status, body = _raw(server, "POST", "/v1/work/complete",
+                            body=completion)
+        assert status == 400  # malformed RunStats payload
+
+        # well-formed but naming a shard this queue never issued
+        from repro.engine.parallel import execute_spec
+        spec = RunSpec(BENCH, "mom", "ideal")
+        stats = execute_spec(spec)
+        completion = json.dumps({
+            "schema_version": SCHEMA_VERSION, "worker_id": "w1",
+            "lease_id": "nope", "shard_id": "nope",
+            "results": [{"spec": spec.to_dict(),
+                         "stats": stats.to_dict()}]}).encode()
+        status, body = _raw(server, "POST", "/v1/work/complete",
+                            body=completion)
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "invalid-work"
 
 
 def test_unknown_benchmark_rejected_at_submission(service):

@@ -124,6 +124,13 @@ def test_cli_cache_ls_stat_gc(tmp_path, capsys, monkeypatch):
     out = capsys.readouterr().out
     assert "active" in out and "superseded" in out
 
+    # --dry-run reports the same totals but touches nothing
+    assert main(["cache", "gc", "--dry-run"]) == 0
+    assert "would remove 1 entries" in capsys.readouterr().out
+    assert stale.exists()
+    assert main(["cache", "ls", "--dry-run"]) == 2
+    assert "--dry-run" in capsys.readouterr().err
+
     assert main(["cache", "gc"]) == 0
     assert "removed 1 entries" in capsys.readouterr().out
     assert not stale.exists()
@@ -149,6 +156,44 @@ def test_cli_submit_against_live_service(capsys):
     assert "gsm_encode/mom/ideal" in captured.out
     assert "[service]" in captured.err
     assert "simulations=1" in captured.err
+
+
+def test_cli_worker_rejects_remote_backend(capsys):
+    assert main(["worker", "--backend", "remote"]) == 2
+    assert "locally" in capsys.readouterr().err
+
+
+def test_cli_worker_gives_up_when_idle(capsys):
+    assert main(["worker", "--url", "http://127.0.0.1:1",
+                 "--max-idle", "0.2", "--no-cache"]) == 0
+    err = capsys.readouterr().err
+    assert "[worker]" in err and "errors=1" in err
+
+
+def test_cli_worker_fails_fast_without_work_queue(capsys):
+    from repro.engine import Engine
+    from repro.service import background_server
+
+    with background_server(Engine(use_cache=False)) as server:
+        assert main(["worker", "--url", server.url,
+                     "--max-idle", "5", "--no-cache"]) == 1
+    err = capsys.readouterr().err
+    assert "error:" in err and "repro serve --backend remote" in err
+
+
+def test_cli_rejects_non_positive_jobs(capsys):
+    with pytest.raises(SystemExit):
+        main(["--jobs", "0", "list"])
+    assert "positive" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_backend_tuning(capsys):
+    with pytest.raises(SystemExit):
+        main(["--lease-ttl", "0", "list"])
+    assert "positive" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["--work-port", "-1", "list"])
+    assert "port" in capsys.readouterr().err
 
 
 def test_cli_submit_unreachable_service(capsys):

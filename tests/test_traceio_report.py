@@ -96,20 +96,21 @@ def test_trace_paths_ship_to_pool_workers(tmp_path, monkeypatch):
     so replays parallelize under spawn (no fork-inherited state)."""
     from repro.engine import RunSpec, register_trace, simulate_many
     from repro.engine import parallel
+    from repro.engine.backends.process import _pool_worker
 
     path = tmp_path / "t.trace"
     export_workload("gsm_encode", "mom", path)
     benchmark = register_trace(path)
     specs = [RunSpec(benchmark, "mom", "vector", lat)
              for lat in (20, 40)]
-    shipped = parallel._trace_paths_for(specs)
+    shipped = parallel.trace_paths_for(specs)
     assert shipped == ((benchmark.split(":", 1)[1], str(path)),)
 
     # simulate a spawn-fresh worker: empty registry, paths passed in
     monkeypatch.setattr(parallel, "_TRACE_PATHS", {})
     monkeypatch.setattr(parallel, "_WORKLOADS", type(
         parallel._WORKLOADS)())
-    payloads = parallel._worker(tuple(specs), shipped)
+    payloads = _pool_worker(tuple(specs), shipped)
     assert len(payloads) == 2 and payloads[0]["cycles"] > 0
 
     # and the end-to-end parallel path agrees with serial execution
