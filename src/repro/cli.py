@@ -38,6 +38,10 @@ Engine flags (accepted before or after the subcommand):
   dispatched to pull-based ``repro worker`` processes.  A non-serve
   command running the remote backend hosts its work queue on
   ``--work-port`` so workers can attach.
+* ``--grid-mode {auto,on,off}`` — whether specs sharing one trace are
+  simulated as a single grid-axis pass (shared decode, traffic replay
+  and steady-state fast-forward; see ``docs/timing.md``).  Bit-
+  identical statistics in every mode.
 * ``--lease-ttl SECONDS`` — remote backend only: how long a worker
   may hold a shard before it is re-leased.
 * ``--cache-dir DIR`` — persistent result-cache location (default
@@ -72,7 +76,8 @@ def _make_runner(args) -> Runner:
     runner = Runner(seed=args.seed, jobs=args.jobs,
                     cache_dir=args.cache_dir,
                     use_cache=not args.no_cache,
-                    backend=_make_backend(args))
+                    backend=_make_backend(args),
+                    grid_mode=args.grid_mode)
     if args.backend == "remote" and args.command != "serve":
         _host_work_queue(args, runner)
     return runner
@@ -419,7 +424,7 @@ def _port(value: str) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    from repro.engine import BACKEND_NAMES
+    from repro.engine import BACKEND_NAMES, GRID_MODES
 
     # Engine/runner flags are attached twice: once to the main parser
     # (with real defaults, so they work before the subcommand) and once
@@ -438,6 +443,13 @@ def main(argv: list[str] | None = None) -> int:
                        default=argparse.SUPPRESS,
                        help="execution backend for uncached "
                             "simulations (default: process)")
+    group.add_argument("--grid-mode", choices=GRID_MODES,
+                       default=argparse.SUPPRESS,
+                       help="grid-axis execution of trace groups: "
+                            "auto (groups of 2+, the default), on "
+                            "(every eligible spec), off (per-spec "
+                            "path); statistics are identical either "
+                            "way")
     group.add_argument("--lease-ttl", type=_positive_float,
                        default=argparse.SUPPRESS, metavar="SECONDS",
                        help="remote backend: seconds a worker may hold "
@@ -464,6 +476,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", "-j", type=_positive_int, default=1)
     parser.add_argument("--backend", choices=BACKEND_NAMES,
                         default="process")
+    parser.add_argument("--grid-mode", choices=GRID_MODES,
+                        default="auto")
     parser.add_argument("--lease-ttl", type=_positive_float,
                         default=30.0)
     parser.add_argument("--work-port", type=_port, default=8737)

@@ -40,14 +40,19 @@ from repro.engine.backends import (
 from repro.engine.cache import ResultCache, code_version, default_cache_root
 from repro.engine.keys import RunSpec
 from repro.engine.parallel import (
+    GRID_MODES,
     build_configs,
     build_memsys,
     build_processor,
     build_workload,
     execute_spec,
+    grid_eligible,
+    grid_group_key,
+    plan_grid,
     register_trace,
     shard_specs,
     simulate_many,
+    simulate_specs,
     validate_spec,
 )
 from repro.engine.sweep import Sweep, axes_product
@@ -69,11 +74,23 @@ class EngineStats:
     stores: int = 0
     #: backend ``execute`` calls issued for uncached specs
     dispatches: int = 0
+    #: trace groups planned for the grid-axis path.  Planner-side
+    #: evidence: the executing side recomputes the same plan per
+    #: shard, where ``auto`` may additionally demote a group below
+    #: the work-volume floor to the per-spec path (see
+    #: ``parallel.simulate_specs``), so these count the plan, not a
+    #: guarantee of grid execution
+    grid_groups: int = 0
+    #: specs planned per-spec while grid mode was enabled (ineligible
+    #: overrides, or singleton groups under ``auto``)
+    grid_fallbacks: int = 0
 
     def summary(self) -> str:
         return (f"simulations={self.simulations} "
                 f"disk-hits={self.disk_hits} memo-hits={self.memo_hits} "
-                f"stores={self.stores} dispatches={self.dispatches}")
+                f"stores={self.stores} dispatches={self.dispatches} "
+                f"grid-groups={self.grid_groups} "
+                f"grid-fallbacks={self.grid_fallbacks}")
 
     def to_dict(self) -> dict:
         """Plain-data counters (the service's ``/v1/stats`` payload)."""
@@ -95,13 +112,27 @@ class Engine:
     :class:`~repro.engine.backends.ExecutionBackend` instance, a name
     (``"inline"``/``"process"``/``"remote"``), or None for the
     historical default — a local process pool sized by ``jobs``.
+
+    ``grid_mode`` controls the grid-axis planner: ``run_many`` groups
+    pending specs by trace (``(benchmark, coding, seed, warm)``) and
+    the executing side simulates each whole group in one
+    :class:`~repro.timing.grid.GridPipeline` pass — ``"auto"``
+    (default) for groups of two or more, ``"on"`` for every eligible
+    spec, ``"off"`` for the historical per-spec path.  Statistics are
+    bit-identical across modes.
     """
 
     def __init__(self, seed: int = 0, jobs: int = 1,
                  cache_dir=None, use_cache: bool = True,
-                 backend: ExecutionBackend | str | None = None):
+                 backend: ExecutionBackend | str | None = None,
+                 grid_mode: str = "auto"):
+        if grid_mode not in GRID_MODES:
+            raise ValueError(
+                f"unknown grid mode {grid_mode!r}; expected one of "
+                f"{GRID_MODES}")
         self.seed = seed
         self.jobs = jobs
+        self.grid_mode = grid_mode
         if backend is None:
             backend = ProcessBackend(jobs=jobs)
         elif isinstance(backend, str):
@@ -140,21 +171,33 @@ class Engine:
             return hit
         with self._lock:
             self.stats.dispatches += 1
-        stats = self.backend.execute([spec], jobs=1)[spec]
+            self._plan([spec], self.grid_mode)
+        stats = self.backend.execute([spec], jobs=1,
+                                     grid_mode=self.grid_mode)[spec]
         with self._lock:
             self.stats.simulations += 1
         return self._admit(spec, stats)
 
-    def run_many(self, specs, jobs: int | None = None
+    def run_many(self, specs, jobs: int | None = None,
+                 grid_mode: str | None = None
                  ) -> dict[RunSpec, RunStats]:
         """Resolve a whole grid, dispatching uncached specs through the
         engine's execution backend.
 
         Returns a dict keyed by spec covering every input (duplicates
         collapse).  ``jobs`` defaults to the engine's setting and is a
-        parallelism/fan-out hint the backend may ignore.
+        parallelism/fan-out hint the backend may ignore; ``grid_mode``
+        overrides the engine's grid planning for this call (a remote
+        worker executes each leased shard under the coordinator's
+        mode without touching shared engine state).
         """
         jobs = self.jobs if jobs is None else jobs
+        if grid_mode is None:
+            grid_mode = self.grid_mode
+        elif grid_mode not in GRID_MODES:
+            raise ValueError(
+                f"unknown grid mode {grid_mode!r}; expected one of "
+                f"{GRID_MODES}")
         specs = list(dict.fromkeys(specs))  # dedupe, keep order
         results: dict[RunSpec, RunStats] = {}
         pending: list[RunSpec] = []
@@ -167,12 +210,24 @@ class Engine:
         if pending:
             with self._lock:
                 self.stats.dispatches += 1
-            fresh = self.backend.execute(pending, jobs=jobs)
+                self._plan(pending, grid_mode)
+            fresh = self.backend.execute(pending, jobs=jobs,
+                                         grid_mode=grid_mode)
             with self._lock:
                 self.stats.simulations += len(fresh)
             for spec, stats in fresh.items():
                 results[spec] = self._admit(spec, stats)
         return {spec: results[spec] for spec in specs}
+
+    def _plan(self, pending, grid_mode: str) -> None:
+        """Account the grid planner's decision for a dispatch (caller
+        holds the lock; ``plan_grid`` is one dict pass over the specs,
+        so recomputing it on the executing side costs nothing)."""
+        if grid_mode == "off":
+            return
+        groups, fallbacks = plan_grid(pending, grid_mode)
+        self.stats.grid_groups += len(groups)
+        self.stats.grid_fallbacks += len(fallbacks)
 
     # -- internals ---------------------------------------------------------
     #
@@ -221,20 +276,21 @@ class Engine:
 
 
 def run_many(specs, jobs: int = 1, cache_dir=None, use_cache: bool = True,
-             backend: ExecutionBackend | str | None = None
-             ) -> dict[RunSpec, RunStats]:
+             backend: ExecutionBackend | str | None = None,
+             grid_mode: str = "auto") -> dict[RunSpec, RunStats]:
     """One-shot convenience: resolve a grid with an ephemeral Engine."""
     engine = Engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
-                    backend=backend)
+                    backend=backend, grid_mode=grid_mode)
     return engine.run_many(specs)
 
 
 __all__ = [
     "BACKEND_NAMES", "Engine", "EngineStats", "ExecutionBackend",
-    "InlineBackend", "ProcessBackend", "RemoteBackend", "ResultCache",
-    "RunSpec", "Sweep", "WorkQueue", "axes_product", "build_configs",
-    "build_memsys", "build_processor", "build_workload", "code_version",
-    "default_cache_root", "execute_spec", "make_backend",
-    "register_trace", "run_many", "shard_specs", "simulate_many",
-    "validate_spec",
+    "GRID_MODES", "InlineBackend", "ProcessBackend", "RemoteBackend",
+    "ResultCache", "RunSpec", "Sweep", "WorkQueue", "axes_product",
+    "build_configs", "build_memsys", "build_processor",
+    "build_workload", "code_version", "default_cache_root",
+    "execute_spec", "grid_eligible", "grid_group_key", "make_backend",
+    "plan_grid", "register_trace", "run_many", "shard_specs",
+    "simulate_many", "simulate_specs", "validate_spec",
 ]

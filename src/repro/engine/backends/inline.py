@@ -5,7 +5,7 @@ from __future__ import annotations
 import threading
 
 from repro.engine.keys import RunSpec
-from repro.engine.parallel import execute_spec
+from repro.engine.parallel import simulate_specs
 from repro.timing.stats import RunStats
 
 
@@ -13,9 +13,10 @@ class InlineBackend:
     """Execute every spec serially on the calling thread.
 
     The zero-overhead baseline: no sharding, no serialization, no
-    worker handoff — exactly what ``simulate_many(jobs=1)`` always
-    did.  Counters are lock-guarded because one engine (and therefore
-    one backend) may be shared by the service's executor threads.
+    worker handoff.  Trace groups run through the grid-axis pipeline
+    per the requested ``grid_mode``.  Counters are lock-guarded
+    because one engine (and therefore one backend) may be shared by
+    the service's executor threads.
     """
 
     name = "inline"
@@ -25,9 +26,9 @@ class InlineBackend:
         self._dispatches = 0
         self._executed = 0
 
-    def execute(self, specs: list[RunSpec], jobs: int | None = None
-                ) -> dict[RunSpec, RunStats]:
-        results = {spec: execute_spec(spec) for spec in specs}
+    def execute(self, specs: list[RunSpec], jobs: int | None = None,
+                grid_mode: str = "auto") -> dict[RunSpec, RunStats]:
+        results = simulate_specs(specs, grid_mode=grid_mode)
         with self._lock:
             self._dispatches += 1
             self._executed += len(results)

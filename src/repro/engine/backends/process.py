@@ -15,25 +15,28 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.engine.keys import RunSpec
 from repro.engine.parallel import (
-    execute_spec,
     restore_trace_paths,
     shard_specs,
+    simulate_specs,
     trace_paths_for,
 )
 from repro.timing.stats import RunStats
 
 
 def _pool_worker(specs: tuple[RunSpec, ...],
-                 trace_paths: tuple[tuple[str, str], ...] = ()
-                 ) -> list[dict]:
+                 trace_paths: tuple[tuple[str, str], ...] = (),
+                 grid_mode: str = "auto") -> list[dict]:
     """Pool entry point: execute a shard, return plain-data stats.
 
     ``trace_paths`` re-registers the parent's saved-trace paths in the
     worker process (required under the spawn start method, where the
-    parent's module state is not inherited).
+    parent's module state is not inherited).  Shards arrive grouped by
+    trace (see ``shard_specs``), so the grid-axis path applies inside
+    each pool task as well.
     """
     restore_trace_paths(trace_paths)
-    return [execute_spec(spec).to_dict() for spec in specs]
+    results = simulate_specs(specs, grid_mode=grid_mode)
+    return [results[spec].to_dict() for spec in specs]
 
 
 class ProcessBackend:
@@ -58,15 +61,15 @@ class ProcessBackend:
         self._executed = 0
         self._pool_shards = 0
 
-    def execute(self, specs: list[RunSpec], jobs: int | None = None
-                ) -> dict[RunSpec, RunStats]:
+    def execute(self, specs: list[RunSpec], jobs: int | None = None,
+                grid_mode: str = "auto") -> dict[RunSpec, RunStats]:
         jobs = self.jobs if jobs is None else jobs
         if jobs <= 0:
             raise ValueError(
                 f"jobs must be a positive integer, got {jobs}")
         specs = list(specs)
         if jobs <= 1 or len(specs) <= 1:
-            results = {spec: execute_spec(spec) for spec in specs}
+            results = simulate_specs(specs, grid_mode=grid_mode)
             with self._lock:
                 self._dispatches += 1
                 self._executed += len(results)
@@ -76,7 +79,8 @@ class ProcessBackend:
         with ProcessPoolExecutor(
                 max_workers=min(jobs, len(shards))) as pool:
             futures = [(shard, pool.submit(_pool_worker, tuple(shard),
-                                           trace_paths_for(shard)))
+                                           trace_paths_for(shard),
+                                           grid_mode))
                        for shard in shards]
             for shard, future in futures:
                 for spec, payload in zip(shard, future.result()):

@@ -49,8 +49,12 @@ class RemoteBackend:
         self.wait_timeout = wait_timeout
         self.shards = shards
 
-    def execute(self, specs: list[RunSpec], jobs: int | None = None
-                ) -> dict[RunSpec, RunStats]:
+    def execute(self, specs: list[RunSpec], jobs: int | None = None,
+                grid_mode: str = "auto") -> dict[RunSpec, RunStats]:
+        # grid_mode rides on each shard so the workers execute under
+        # the coordinator's plan (results are identical in every mode;
+        # the shard field is what makes --grid-mode off an effective
+        # fleet-wide kill switch).
         specs = list(specs)
         unresolvable = [spec for spec in specs
                         if spec.benchmark.startswith(TRACE_PREFIX)]
@@ -66,7 +70,8 @@ class RemoteBackend:
         if fan_out <= 0:
             raise ValueError(
                 f"jobs must be a positive integer, got {fan_out}")
-        shard_ids = self.queue.enqueue(shard_specs(specs, fan_out))
+        shard_ids = self.queue.enqueue(shard_specs(specs, fan_out),
+                                       grid_mode=grid_mode)
         try:
             return self.queue.collect(shard_ids,
                                       timeout=self.wait_timeout)

@@ -50,10 +50,16 @@ class WorkQueueError(ValueError):
 
 @dataclass(frozen=True)
 class WorkShard:
-    """One unit of leased work: specs sharing a workload trace."""
+    """One unit of leased work: specs sharing a workload trace.
+
+    ``grid_mode`` is the dispatching engine's grid-axis plan; workers
+    execute the shard under it so a coordinator-side ``--grid-mode``
+    (including the ``off`` kill switch) governs the whole fleet.
+    """
 
     shard_id: str
     specs: "tuple[RunSpec, ...]"
+    grid_mode: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -105,10 +111,11 @@ class WorkQueue:
 
     # -- producer side (the RemoteBackend) ---------------------------------
 
-    def enqueue(self, shards: Sequence[Sequence["RunSpec"]]
-                ) -> list[str]:
+    def enqueue(self, shards: Sequence[Sequence["RunSpec"]],
+                grid_mode: str = "auto") -> list[str]:
         """Queue shards for leasing; returns their (fresh) shard ids."""
-        created = [WorkShard(shard_id=_fresh_id(), specs=tuple(specs))
+        created = [WorkShard(shard_id=_fresh_id(), specs=tuple(specs),
+                             grid_mode=grid_mode)
                    for specs in shards if specs]
         with self._cond:
             for shard in created:

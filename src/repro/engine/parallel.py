@@ -282,6 +282,105 @@ def execute_spec(spec: RunSpec) -> RunStats:
                     model=model)
 
 
+#: Accepted ``grid_mode`` values (the ``--grid-mode`` CLI choices).
+GRID_MODES = ("auto", "on", "off")
+
+
+def grid_group_key(spec: RunSpec) -> tuple:
+    """The trace-group a spec belongs to for grid-axis execution.
+
+    Specs sharing one decoded trace and priming mode can be simulated
+    by a single :class:`~repro.timing.grid.GridPipeline` pass.
+    """
+    return (spec.benchmark, spec.coding, spec.seed, spec.warm)
+
+
+def grid_eligible(spec: RunSpec) -> bool:
+    """Whether the grid path may serve this spec.
+
+    Only the batched timing model (the default) has a grid-axis
+    formulation; a ``timing_model`` override pinning the reference
+    pipeline must run per spec.
+    """
+    return timing_model_for(spec) in (None, "batched")
+
+
+def plan_grid(specs, grid_mode: str = "auto"
+              ) -> tuple[list[list[RunSpec]], list[RunSpec]]:
+    """Partition specs into grid groups and per-spec fallbacks.
+
+    ``"off"`` sends everything down the per-spec path; ``"on"`` routes
+    every eligible spec through the grid path (even alone); ``"auto"``
+    uses the grid path only for groups of two or more, where there is
+    shared work to amortize (see ``BENCH_grid.json`` for how much that
+    buys per trace group).  Order inside a group follows the input
+    order.
+    """
+    if grid_mode not in GRID_MODES:
+        raise ConfigError(
+            f"unknown grid mode {grid_mode!r}; expected one of "
+            f"{GRID_MODES}")
+    if grid_mode == "off":
+        return [], list(specs)
+    groups: dict[tuple, list[RunSpec]] = {}
+    fallbacks: list[RunSpec] = []
+    for spec in specs:
+        if grid_eligible(spec):
+            groups.setdefault(grid_group_key(spec), []).append(spec)
+        else:
+            fallbacks.append(spec)
+    grid_groups: list[list[RunSpec]] = []
+    for members in groups.values():
+        if grid_mode == "auto" and len(members) < 2:
+            fallbacks.extend(members)
+        else:
+            grid_groups.append(members)
+    return grid_groups, fallbacks
+
+
+#: ``auto`` routes a group through the grid path only when the group's
+#: total instruction volume clears this floor: below it the shared
+#: tables cost about what they save (the committed per-group numbers
+#: in ``BENCH_grid.json`` show small 3-spec groups around break-even
+#: and the large MMX groups comfortably ahead).  A pure performance
+#: knob — results are bit-identical on both sides of it.
+_GRID_AUTO_MIN_WORK = 16384
+
+
+def simulate_specs(specs, grid_mode: str = "auto"
+                   ) -> dict[RunSpec, RunStats]:
+    """Execute specs in-process, grid-vectorizing trace groups.
+
+    The in-process execution primitive every backend bottoms out in:
+    trace groups go through :class:`~repro.timing.grid.GridPipeline`
+    (one shared decode + traffic replay + lean schedule per
+    configuration), everything else through :func:`execute_spec`.
+    Under ``auto`` a group must also clear a work-volume floor (the
+    trace is already built here, so its size is free to consult);
+    ``on`` forces the grid path regardless.  Results are bit-identical
+    either way — the timing differential suite pins all three grid
+    modes to the reference pipeline.
+    """
+    from repro.timing.grid import GridPipeline
+
+    grid_groups, fallbacks = plan_grid(specs, grid_mode)
+    results: dict[RunSpec, RunStats] = {}
+    for members in grid_groups:
+        workload = build_workload(members[0].benchmark,
+                                  members[0].coding, members[0].seed)
+        if grid_mode == "auto" and len(workload.program.instructions) \
+                * len(members) < _GRID_AUTO_MIN_WORK:
+            fallbacks = list(fallbacks) + members
+            continue
+        configs = [build_configs(spec) for spec in members]
+        stats = GridPipeline(workload.program, configs).run(
+            warm=members[0].warm)
+        results.update(zip(members, stats))
+    for spec in fallbacks:
+        results[spec] = execute_spec(spec)
+    return results
+
+
 def trace_paths_for(specs) -> tuple[tuple[str, str], ...]:
     """The ``register_trace`` entries a shard's executor will need."""
     digests = {spec.benchmark[len(TRACE_PREFIX):] for spec in specs
@@ -306,7 +405,11 @@ def shard_specs(specs: list[RunSpec], jobs: int) -> list[list[RunSpec]]:
     Specs sharing a workload trace stay together (one build per
     shard); when that yields fewer shards than ``jobs``, the largest
     shards split until every worker has something to do (or no shard
-    can split further).  Never returns an empty shard: asking for more
+    can split further).  Splits respect grid-group boundaries — a
+    shard holding several ``(benchmark, coding, seed, warm)`` groups
+    splits between groups, so the executing side keeps whole groups
+    for its grid-axis pass; a single group only splits once nothing
+    coarser is left.  Never returns an empty shard: asking for more
     shards than there are specs simply yields one spec per shard, and
     an empty spec list yields no shards at all.
     """
@@ -322,8 +425,23 @@ def shard_specs(specs: list[RunSpec], jobs: int) -> list[list[RunSpec]]:
         if len(biggest) <= 1:
             break
         shards.remove(biggest)
+        # prefer splitting between grid groups (warm/cold runs of one
+        # trace are separate GridPipeline passes anyway); members of a
+        # group may arrive interleaved, so make them contiguous first
+        # — shard-internal order is free to rearrange, results are
+        # order-independent by construction
+        biggest = sorted(biggest, key=grid_group_key)
+        boundary = None
         mid = (len(biggest) + 1) // 2
-        shards.extend([biggest[:mid], biggest[mid:]])
+        for cut in sorted(range(1, len(biggest)),
+                          key=lambda c: abs(c - mid)):
+            if grid_group_key(biggest[cut - 1]) \
+                    != grid_group_key(biggest[cut]):
+                boundary = cut
+                break
+        if boundary is None:
+            boundary = mid
+        shards.extend([biggest[:boundary], biggest[boundary:]])
     return shards
 
 

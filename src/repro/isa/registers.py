@@ -75,24 +75,43 @@ class Register:
         return f"{self.cls.value}{self.index}"
 
 
+#: Interned register instances: every ``r(i)``/``v(i)``/... call for a
+#: valid index returns the same object.  Registers are frozen value
+#: objects, so sharing is safe; it saves an allocation per operand in
+#: the trace builders and lets hot consumers (the timing pre-decode)
+#: key caches by object identity.
+_INTERNED: dict[RegClass, tuple[Register, ...]] = {
+    cls: tuple(Register(cls, i) for i in range(count))
+    for cls, count in LOGICAL_COUNTS.items()
+}
+
+
+def _interned(cls: RegClass, index: int) -> Register:
+    table = _INTERNED[cls]
+    if isinstance(index, int) and 0 <= index < len(table):
+        return table[index]
+    # out-of-range (or odd) indexes keep the historical error path
+    return Register(cls, index)
+
+
 def r(index: int) -> Register:
     """Scalar integer register ``r{index}``."""
-    return Register(RegClass.SCALAR, index)
+    return _interned(RegClass.SCALAR, index)
 
 
 def v(index: int) -> Register:
     """2D vector (MOM) register ``v{index}``."""
-    return Register(RegClass.VECTOR, index)
+    return _interned(RegClass.VECTOR, index)
 
 
 def acc(index: int) -> Register:
     """Accumulator register ``acc{index}``."""
-    return Register(RegClass.ACC, index)
+    return _interned(RegClass.ACC, index)
 
 
 def d3(index: int) -> Register:
     """3D vector register ``d{index}``."""
-    return Register(RegClass.VEC3D, index)
+    return _interned(RegClass.VEC3D, index)
 
 
 #: The Vector Length control register.

@@ -7,7 +7,7 @@ timing model; latencies are applied by the ports in
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -68,9 +68,12 @@ class SetAssocCache:
         self.write_back = write_back
         self.name = name
         self.n_sets = size_bytes // (line_bytes * ways)
-        # one LRU-ordered dict per set: {tag: _Line}; last item = MRU
-        self._sets: list[OrderedDict[int, _Line]] = [
-            OrderedDict() for _ in range(self.n_sets)]
+        # one LRU-ordered dict per set: {tag: _Line}; last item = MRU.
+        # Allocated lazily on first touch: a 2 MB L2 has 4096 sets, and
+        # eagerly building that many OrderedDicts dominated pipeline
+        # construction for short traces that touch a few dozen sets.
+        self._sets: defaultdict[int, OrderedDict[int, _Line]] = \
+            defaultdict(OrderedDict)
         self.stats = CacheStats()
 
     # -- address helpers ------------------------------------------------------
@@ -83,12 +86,20 @@ class SetAssocCache:
         line_no = addr // self.line_bytes
         return self._sets[line_no % self.n_sets], line_no // self.n_sets
 
+    def _peek(self, addr: int) -> tuple[OrderedDict | None, int]:
+        """Like :meth:`_locate` but never materializes a lazy set —
+        for the read-only operations below, so a probe of a cold set
+        stays side-effect free."""
+        line_no = addr // self.line_bytes
+        return (self._sets.get(line_no % self.n_sets),
+                line_no // self.n_sets)
+
     # -- operations ---------------------------------------------------------------
 
     def probe(self, addr: int) -> bool:
         """True if the line holding ``addr`` is present (no side effects)."""
-        cset, tag = self._locate(addr)
-        return tag in cset
+        cset, tag = self._peek(addr)
+        return cset is not None and tag in cset
 
     def access(self, addr: int, is_write: bool = False) -> bool:
         """Reference the line holding ``addr``.  Returns True on hit.
@@ -167,8 +178,8 @@ class SetAssocCache:
 
     def invalidate(self, addr: int) -> bool:
         """Drop the line holding ``addr``; returns True if it was present."""
-        cset, tag = self._locate(addr)
-        if tag in cset:
+        cset, tag = self._peek(addr)
+        if cset is not None and tag in cset:
             del cset[tag]
             self.stats.invalidations += 1
             return True
@@ -176,13 +187,14 @@ class SetAssocCache:
 
     def set_scalar_owned(self, addr: int, owned: bool) -> None:
         """Flip the exclusive bit on a (present) line."""
-        cset, tag = self._locate(addr)
-        if tag in cset:
+        cset, tag = self._peek(addr)
+        if cset is not None and tag in cset:
             cset[tag].scalar_owned = owned
 
     def is_scalar_owned(self, addr: int) -> bool:
-        cset, tag = self._locate(addr)
-        return tag in cset and cset[tag].scalar_owned
+        cset, tag = self._peek(addr)
+        return cset is not None and tag in cset \
+            and cset[tag].scalar_owned
 
     def lines_touched(self, addr: int, nbytes: int) -> list[int]:
         """Line addresses overlapped by [addr, addr+nbytes)."""
@@ -192,5 +204,4 @@ class SetAssocCache:
 
     def flush(self) -> None:
         """Drop all contents (keeps statistics)."""
-        for cset in self._sets:
-            cset.clear()
+        self._sets.clear()

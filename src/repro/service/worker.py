@@ -110,7 +110,8 @@ class ServiceWorker:
                     break
                 continue
             self.stats.leases += 1
-            results = self.engine.run_many(grant.specs)
+            results = self.engine.run_many(
+                grant.specs, grid_mode=grant.grid_mode)
             try:
                 reply = self.client.complete_work(self.worker_id, grant,
                                                   results)

@@ -12,6 +12,7 @@ from repro.timing.config import (
     multibank_memsys,
     vector_memsys,
 )
+from repro.timing.grid import GridPipeline, simulate_grid
 from repro.timing.pipeline import (
     DEFAULT_TIMING_MODEL,
     TIMING_MODELS,
@@ -23,9 +24,10 @@ from repro.timing.pipeline import (
 from repro.timing.stats import RunStats, VecLenStats
 
 __all__ = [
-    "BatchedPipeline", "DEFAULT_TIMING_MODEL", "MEMSYSTEMS",
-    "MemSysConfig", "PROCESSORS", "Pipeline", "ProcessorConfig",
-    "ReferencePipeline", "RunStats", "TIMING_MODELS", "VecLenStats",
-    "ideal_memsys", "mmx_processor", "mom3d_processor", "mom_processor",
-    "multibank_memsys", "simulate", "vector_memsys",
+    "BatchedPipeline", "DEFAULT_TIMING_MODEL", "GridPipeline",
+    "MEMSYSTEMS", "MemSysConfig", "PROCESSORS", "Pipeline",
+    "ProcessorConfig", "ReferencePipeline", "RunStats",
+    "TIMING_MODELS", "VecLenStats", "ideal_memsys", "mmx_processor",
+    "mom3d_processor", "mom_processor", "multibank_memsys", "simulate",
+    "simulate_grid", "vector_memsys",
 ]

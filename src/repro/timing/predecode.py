@@ -182,24 +182,33 @@ def primed_layout(program: Program, hierarchy, isa: str) -> tuple:
     """
     l1 = hierarchy.l1
     l2 = hierarchy.l2
-    key = ("prime", isa, l1.line_bytes, l1.n_sets, l1.ways,
-           l2.line_bytes, l2.n_sets, l2.ways)
     memo = _program_memo(program)
-    layout = memo.get(key)
-    if layout is not None:
-        return layout
+
+    # The two cache layouts are memoized independently: the L2 layout
+    # is a pure function of the trace and the L2 geometry alone (every
+    # access primes the L2), so an overlay batch sweeping L1 geometry
+    # (or the routing isa) shares one L2 computation — and vice versa.
+    l2_key = ("prime-l2", l2.line_bytes, l2.n_sets, l2.ways)
+    l1_key = ("prime-l1", isa, l1.line_bytes, l1.n_sets, l1.ways)
+    l2_layout = memo.get(l2_key)
+    l1_layout = memo.get(l1_key)
+    if l2_layout is not None and l1_layout is not None:
+        return (l2_layout, l1_layout)
 
     core = memo.get("core")
     if core is None:
         core = memo["core"] = _decode_core(program)
     geometry = core.mem_geometry
-    l1_geometry = [g for g in geometry if g[5] or isa == "mmx"]
-    layout = (_final_content(_line_stream(geometry, l2.line_bytes),
-                             l2.line_bytes, l2.n_sets, l2.ways),
-              _final_content(_line_stream(l1_geometry, l1.line_bytes),
-                             l1.line_bytes, l1.n_sets, l1.ways))
-    memo[key] = layout
-    return layout
+    if l2_layout is None:
+        l2_layout = memo[l2_key] = _final_content(
+            _line_stream(geometry, l2.line_bytes),
+            l2.line_bytes, l2.n_sets, l2.ways)
+    if l1_layout is None:
+        l1_geometry = [g for g in geometry if g[5] or isa == "mmx"]
+        l1_layout = memo[l1_key] = _final_content(
+            _line_stream(l1_geometry, l1.line_bytes),
+            l1.line_bytes, l1.n_sets, l1.ways)
+    return (l2_layout, l1_layout)
 
 
 def _line_stream(geometry, line_bytes: int) -> list[int]:
@@ -326,6 +335,10 @@ class CoreDecode:
     rf3d_words: int
     rf3d_reads: int
     has_dvload3: bool
+    #: derived-product memo shared by every overlay of this core
+    #: (occupancy vectors, memory tables, span assemblies — keyed by
+    #: the configuration slice each product actually depends on)
+    aux: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -481,6 +494,15 @@ def _decode_core(program: Program) -> CoreDecode:
     cls_code = _CLS_ID
     ren_get = _REN_ID.get
 
+    # per-call register lowerings keyed by object identity: registers
+    # are interned (see repro.isa.registers), so the few dozen distinct
+    # operands of a trace resolve through one dict hit instead of
+    # re-deriving class codes per occurrence.  The caches are local —
+    # the program keeps every register alive for the duration, so ids
+    # cannot be recycled under us.
+    sid_of: dict[int, int] = {}
+    dst_of: dict[int, tuple[int, int | None]] = {}
+
     # hazard-run detection state: last writer index per register id
     last_write = [-1] * SB_SIZE
     run_start = -1  # current hazard-free run start, -1 when none
@@ -491,13 +513,24 @@ def _decode_core(program: Program) -> CoreDecode:
         vl = inst.vl
         vl_list[i] = vl
         kind_list[i] = kind
-        src_ids = tuple(1 + cls_code[id(s.cls)] * 32 + s.index
-                        for s in inst.srcs)
+        src_ids_list = []
+        for s in inst.srcs:
+            sid = sid_of.get(id(s))
+            if sid is None:
+                sid = 1 + cls_code[id(s.cls)] * 32 + s.index
+                sid_of[id(s)] = sid
+            src_ids_list.append(sid)
+        src_ids = tuple(src_ids_list)
         dst_ids: tuple[int, ...] = ()
         ren: tuple[int, ...] = ()
         for t in inst.dsts:
-            dst_ids += (1 + cls_code[id(t.cls)] * 32 + t.index,)
-            code = ren_get(id(t.cls))
+            entry = dst_of.get(id(t))
+            if entry is None:
+                entry = (1 + cls_code[id(t.cls)] * 32 + t.index,
+                         ren_get(id(t.cls)))
+                dst_of[id(t)] = entry
+            tid, code = entry
+            dst_ids += (tid,)
             if code is not None:
                 ren += (code,)
         needs_vl = vl > 1 or vl_reader
@@ -525,16 +558,27 @@ def _decode_core(program: Program) -> CoreDecode:
             requests[i] = request_for(inst)
         rows.append((kind, branch, latency, src_ids, dst_ids, ren,
                      kind >= KIND_D3MOVE, needs_vl, ptr_kind, ptr))
-        dep = src_ids + dst_ids + ((VL_ID,) if needs_vl else ())
 
         # hazard-free run tracking (int/SIMD only, no branches)
         if kind <= KIND_SIMD and not branch:
             if run_start < 0:
                 run_start = i
-            elif any(last_write[x] >= run_start for x in dep):
-                if i - run_start > 1:
-                    runs.append((run_start, i))
-                run_start = i
+            else:
+                hazard = needs_vl and last_write[VL_ID] >= run_start
+                if not hazard:
+                    for x in src_ids:
+                        if last_write[x] >= run_start:
+                            hazard = True
+                            break
+                if not hazard:
+                    for x in dst_ids:
+                        if last_write[x] >= run_start:
+                            hazard = True
+                            break
+                if hazard:
+                    if i - run_start > 1:
+                        runs.append((run_start, i))
+                    run_start = i
         elif run_start >= 0:
             if i - run_start > 1:
                 runs.append((run_start, i))
@@ -565,40 +609,67 @@ def _decode_overlay(core: CoreDecode, proc: ProcessorConfig,
         if proc.isa != "mom3d":
             raise ConfigError("dvload3 requires the mom3d configuration")
 
-    # FU occupancies: numpy ceil-divide over the whole trace
-    occ_arr = np.ones(core.n, dtype=np.int64)
-    simd = core.kind_arr == KIND_SIMD
-    if simd.any():
-        occ_arr[simd] = -(-core.vl_arr[simd] // proc.simd_lanes)
-    d3move = core.kind_arr == KIND_D3MOVE
-    if d3move.any():
-        occ_arr[d3move] = -(-core.vl_arr[d3move] // proc.d3_move_lanes)
+    aux = core.aux
+
+    # FU occupancies: numpy ceil-divide over the whole trace, shared by
+    # every overlay with the same lane configuration
+    occ_key = ("occ", proc.simd_lanes, proc.d3_move_lanes)
+    occ = aux.get(occ_key)
+    if occ is None:
+        occ_arr = np.ones(core.n, dtype=np.int64)
+        simd = core.kind_arr == KIND_SIMD
+        if simd.any():
+            occ_arr[simd] = -(-core.vl_arr[simd] // proc.simd_lanes)
+        d3move = core.kind_arr == KIND_D3MOVE
+        if d3move.any():
+            occ_arr[d3move] = -(-core.vl_arr[d3move]
+                                // proc.d3_move_lanes)
+        occ = aux[occ_key] = occ_arr.tolist()
 
     l2_line = memsys.hierarchy.l2_line
     is_mmx = proc.isa == "mmx"
-    mem: dict[int, tuple] = {}
-    for i, ea, count, stride, width, scalar, is_store \
-            in core.mem_geometry:
-        request = core.requests[i]
-        to_l1 = scalar or is_mmx
-        if not to_l1:
-            plan = _plan_for(request, memsys, l2_line, ea, count, stride)
-            if plan is not None:
-                request = MemRequest(
-                    refs=request.refs, is_write=request.is_write,
-                    useful_words=request.useful_words,
-                    line_mode=request.line_mode, plan=plan)
-        if count == 1:
-            first = ea // l2_line
-            last = (ea + width - 1) // l2_line
-            lines = (first,) if first == last else (first, last)
-        else:
-            lines = tuple(touched_lines(ea, count, stride, width,
-                                        l2_line))
-        mem[i] = (to_l1, request, lines, is_store)
+    # the memory table depends on the port geometry only through the
+    # request plans, which only exist for vector-path requests — an
+    # all-scalar (or MMX) trace shares one table across memory systems
+    has_vector_mem = not is_mmx \
+        and any(not g[5] for g in core.mem_geometry)
+    mem_key = ("mem", is_mmx, l2_line) + (
+        (memsys.kind, memsys.vc_width_words, memsys.mb_ports,
+         memsys.mb_banks) if has_vector_mem else ())
+    mem = aux.get(mem_key)
+    if mem is None:
+        mem = {}
+        for i, ea, count, stride, width, scalar, is_store \
+                in core.mem_geometry:
+            request = core.requests[i]
+            to_l1 = scalar or is_mmx
+            if not to_l1:
+                plan = _plan_for(request, memsys, l2_line, ea, count,
+                                 stride)
+                if plan is not None:
+                    request = MemRequest(
+                        refs=request.refs, is_write=request.is_write,
+                        useful_words=request.useful_words,
+                        line_mode=request.line_mode, plan=plan)
+            if count == 1:
+                first = ea // l2_line
+                last = (ea + width - 1) // l2_line
+                lines = (first,) if first == last else (first, last)
+            else:
+                lines = tuple(touched_lines(ea, count, stride, width,
+                                            l2_line))
+            mem[i] = (to_l1, request, lines, is_store)
+        aux[mem_key] = mem
 
-    overlay = DecodedTrace(core=core, occ=occ_arr.tolist(), mem=mem)
-    _assemble_spans(overlay, proc)
+    overlay = DecodedTrace(core=core, occ=occ, mem=mem)
+    span_key = ("spans", proc.simd_lanes, proc.d3_move_lanes,
+                proc.window, proc.extra_vector_regs, proc.extra_d3_regs)
+    spans = aux.get(span_key)
+    if spans is None:
+        _assemble_spans(overlay, proc)
+        aux[span_key] = (overlay.spans, overlay.fast)
+    else:
+        overlay.spans, overlay.fast = spans
     return overlay
 
 

@@ -98,7 +98,7 @@ def test_occupancy_never_exceeds_capacity(addrs):
     c = small_cache(ways=2, lines=16, line_bytes=32)
     for addr in addrs:
         c.access(addr)
-    for cset in c._sets:
+    for cset in c._sets.values():
         assert len(cset) <= c.ways
 
 

@@ -40,7 +40,8 @@ def test_health_and_stats_shape(service):
     stats = client.stats()
     assert stats["schema_version"] == SCHEMA_VERSION
     assert set(stats["engine"]) == {"simulations", "memo_hits",
-                                    "disk_hits", "stores", "dispatches"}
+                                    "disk_hits", "stores", "dispatches",
+                                    "grid_groups", "grid_fallbacks"}
     assert set(stats["scheduler"]) == {"submitted", "coalesced",
                                        "batches", "batched_specs"}
     assert stats["backend"]["name"] == "process"

@@ -1,4 +1,5 @@
-"""Differential oracle: batched pipeline == reference pipeline.
+"""Differential oracle: batched pipeline == reference pipeline,
+grid pipeline == batched pipeline.
 
 The batched timing model re-derives the reference model's schedule
 through pre-decoded arrays, span vectorization and closed-form resource
@@ -6,14 +7,30 @@ packing; nothing of that restructuring may move a single statistic.
 This suite runs both models over every (benchmark, coding, memsys,
 l2_latency) point of the paper's fig3 / fig9 / table1 grids and asserts
 ``RunStats.to_dict()`` equality field by field.
+
+The grid-axis pipeline (:mod:`repro.timing.grid`) re-derives the same
+schedule a third way — shared trace decode, timing-decoupled traffic
+replay, precomputed limiter gates and periodic steady-state
+fast-forward — and is pinned here to the per-spec batched path for
+every paper grid point, warm and cold, under grid-mode ``on``, ``off``
+and ``auto`` across all three execution backends.
 """
+
+import threading
 
 import pytest
 
-from repro.engine import Engine
+from repro.engine import Engine, RemoteBackend
 from repro.engine.keys import RunSpec
-from repro.engine.parallel import build_configs, build_workload
+from repro.engine.parallel import (
+    build_configs,
+    build_workload,
+    execute_spec,
+)
+from repro.harness.experiments import paper_grids
+from repro.service import ServiceWorker, background_server
 from repro.timing import simulate
+from repro.timing.grid import GridPipeline
 from repro.workloads import benchmark_names
 
 #: (coding, memory systems) per evaluation grid:
@@ -110,6 +127,89 @@ def test_latency_sweep_point_bit_identical():
     reference, batched = _run_both("mpeg2_encode", "mom3d", "vector", 40)
     assert batched.to_dict() == reference.to_dict(), \
         batched.diff(reference)
+
+
+# -- grid-axis pipeline ------------------------------------------------------
+
+#: (coding, memsystems) trace groups of the paper grids — each is one
+#: GridPipeline pass in grid mode.
+_GRID_GROUPS = [(bench, coding, memsystems)
+                for bench in benchmark_names()
+                for coding, memsystems in _GRID_CODINGS]
+
+
+@pytest.mark.parametrize("bench,coding,memsystems", _GRID_GROUPS)
+@pytest.mark.parametrize("warm", (True, False), ids=("warm", "cold"))
+def test_grid_pipeline_bit_identical(bench, coding, memsystems, warm):
+    """One GridPipeline pass over a trace group == per-spec batched
+    runs, for every paper grid point, warm and cold."""
+    program = build_workload(bench, coding, 0).program
+    configs = [build_configs(RunSpec(benchmark=bench, coding=coding,
+                                     memsys=memsys))
+               for memsys in memsystems]
+    grid = GridPipeline(program, configs).run(warm=warm)
+    for (proc, memsys_config), stats, memsys in zip(configs, grid,
+                                                    memsystems):
+        batched = simulate(program, proc, memsys_config, warm=warm,
+                           model="batched")
+        assert stats.to_dict() == batched.to_dict(), (
+            f"{bench}/{coding}/{memsys} warm={warm}: "
+            f"{stats.diff(batched)}")
+
+
+@pytest.fixture(scope="module")
+def paper_grid_baseline():
+    """Per-spec batched results for the deduped fig3+fig9+table1 grid."""
+    specs = paper_grids()
+    return specs, {spec: execute_spec(spec).to_dict() for spec in specs}
+
+
+def _assert_grid_matches(results, baseline):
+    for spec, payload in baseline.items():
+        assert results[spec].to_dict() == payload, spec.label()
+
+
+@pytest.mark.parametrize("grid_mode", ("on", "off", "auto"))
+def test_grid_modes_bit_identical_inline(paper_grid_baseline,
+                                         grid_mode):
+    specs, baseline = paper_grid_baseline
+    engine = Engine(use_cache=False, backend="inline",
+                    grid_mode=grid_mode)
+    _assert_grid_matches(engine.run_many(specs), baseline)
+    if grid_mode != "off":
+        assert engine.stats.grid_groups > 0
+
+
+@pytest.mark.parametrize("grid_mode", ("on", "off", "auto"))
+def test_grid_modes_bit_identical_process(paper_grid_baseline,
+                                          grid_mode):
+    specs, baseline = paper_grid_baseline
+    engine = Engine(use_cache=False, backend="process", jobs=2,
+                    grid_mode=grid_mode)
+    _assert_grid_matches(engine.run_many(specs, jobs=2), baseline)
+
+
+@pytest.mark.parametrize("grid_mode", ("on", "off", "auto"))
+def test_grid_modes_bit_identical_remote(paper_grid_baseline,
+                                         grid_mode):
+    """Remote execution: shards keep trace groups together and the
+    workers' own engines run them in the requested grid mode."""
+    specs, baseline = paper_grid_baseline
+    backend = RemoteBackend(lease_ttl=10.0, wait_timeout=120.0)
+    engine = Engine(use_cache=False, backend=backend,
+                    grid_mode=grid_mode)
+    with background_server(engine, window=0.01) as server:
+        worker = ServiceWorker(
+            server.url, Engine(use_cache=False, grid_mode=grid_mode),
+            worker_id="grid-w0", poll_interval=0.02)
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        try:
+            _assert_grid_matches(engine.run_many(specs, jobs=3),
+                                 baseline)
+        finally:
+            worker.stop()
+            thread.join(timeout=30)
 
 
 def _outcome_counts(program, proc, memsys):
