@@ -27,9 +27,11 @@ MEMSYSTEMS = ("multibank", "vector", "ideal")
 #: minimum is the right statistic against GC pauses and noisy neighbors
 ROUNDS = 5
 #: regression floor asserted by the test (the measured ratio — recorded
-#: in BENCH_timing.json — is ~3-3.5x on an idle machine; the floor is
+#: in BENCH_timing.json — is ~4x on an idle machine; the floor is
 #: lower so a loaded CI runner does not flake)
 MIN_SPEEDUP = 2.0
+#: soft gate: the bench-timing CI job warns (does not fail) below this
+TARGET_SPEEDUP = 4.0
 
 
 def _cold_fig3_column(model: str) -> float:
@@ -70,6 +72,10 @@ def test_timing_pipeline_speedup():
     print()
     print(json.dumps(payload, indent=2))
     assert payload["speedup"] >= MIN_SPEEDUP, payload
+    if payload["speedup"] < TARGET_SPEEDUP:
+        print(f"::warning title=bench-timing::batched-model speedup "
+              f"{payload['speedup']}x is below the {TARGET_SPEEDUP}x "
+              f"target on this runner")
 
 
 if __name__ == "__main__":

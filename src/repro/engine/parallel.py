@@ -339,11 +339,20 @@ def plan_grid(specs, grid_mode: str = "auto"
 
 
 #: ``auto`` routes a group through the grid path only when the group's
-#: total instruction volume clears this floor: below it the shared
-#: tables cost about what they save (the committed per-group numbers
-#: in ``BENCH_grid.json`` show small 3-spec groups around break-even
-#: and the large MMX groups comfortably ahead).  A pure performance
-#: knob — results are bit-identical on both sides of it.
+#: total instruction volume (body length x member count) clears this
+#: floor: below it the grid pass's fixed setup — gate tables, the
+#: steady-state skip index, per-config replay — costs more than the
+#: shared decode and schedule dedup save.  The committed per-group
+#: numbers in ``BENCH_grid.json`` bound the tuning band: the largest
+#: losing group (mpeg2_encode/mom, 3 specs x 3673 instructions ~ 11k
+#: work, 0.87x forced on) must stay below the floor and the smallest
+#: winning one (gsm_encode/mmx, 2 x 14096 ~ 28k work, 1.36x) above
+#: it, so any value in (11k, 28k] routes every measured group to its
+#: faster path; 16384 sits mid-band to tolerate trace drift.  Together
+#: with the two-member minimum in :func:`plan_grid` this keeps every
+#: per-group ``speedup_auto`` at or above break-even — asserted at
+#: 0.95x in ``benchmarks/bench_grid.py``.  A pure performance knob —
+#: results are bit-identical on both sides of it.
 _GRID_AUTO_MIN_WORK = 16384
 
 

@@ -550,6 +550,7 @@ def _schedule_lean(d: DecodedTrace, proc: ProcessorConfig,
     p_ord = 0      # pointer-admission ordinal
 
     positions = skips.anchor_positions if skips is not None else None
+    store_completes = skips.store_completes if skips is not None else None
     hot = False
 
     # The walk runs in chunks delimited by anchor positions: inside a
@@ -685,6 +686,8 @@ def _schedule_lean(d: DecodedTrace, proc: ProcessorConfig,
                             store_lines[line] = complete
                     if complete > store_max:
                         store_max = complete
+                    if store_completes is not None:
+                        store_completes[m] = complete
                 m += 1
             elif kind == KIND_D3MOVE:
                 value = sb[ptr]

@@ -46,6 +46,7 @@ from bisect import bisect_left
 
 import numpy as np
 
+from repro.compiler.pipeline import coverage_regions
 from repro.timing.predecode import KIND_MEM, _program_memo
 
 #: Anchor cadence bounds: decimate denser groups, ignore sparser rows.
@@ -55,9 +56,23 @@ _MAX_SPACING = 4096
 #: At most this many phase groups and anchors per group.
 _MAX_PHASES = 8
 _MAX_GROUP_ANCHORS = 48
-#: Per-line cap on remembered store ordinals for the conflict pattern;
-#: loads touching a line that overflowed are marked unskippable.
-_STORE_PATTERN_CAP = 8
+#: Floor and cap for the per-trace skip-span bound, in memory
+#: ordinals.  One bound serves three cooperating roles (see
+#: :meth:`_SkipState._verify` for the exactness argument): each skip
+#: is capped to this many ordinals, the store→load conflict pattern
+#: tracks sources this far back (an in-span load's in-span sources
+#: can never be further), and the anchor capture pins the value of
+#: every conflict gate with a reader inside this horizon (which
+#: covers every in-span load that could read a *pre*-anchor gate).
+#: Conflicts at larger distances are unobservable inside a span:
+#: their gate values ride the pinned capture key and the exact
+#: landing translation instead.  The working value is raised per
+#: trace just far enough to fit one iteration of its longest
+#: compiler-declared loop body — a deeper horizon than needed only
+#: makes the pattern arrays longer and the periodicity requirement
+#: stricter.
+_SKIP_HORIZON = 1024
+_SKIP_HORIZON_CAP = 4096
 
 
 # -- shared (per-trace / per-proc / per-geometry) tables ---------------------
@@ -71,13 +86,22 @@ def _skip_core(program, core):
         return tables
     rows = core.rows
     n = core.n
+    # The periodized decoder shares row tuple *objects* across loop
+    # iterations, so an identity-keyed cache resolves the bulk of the
+    # trace without hashing the tuples; value interning stays as the
+    # fallback that keeps equal rows from distinct objects unified.
     intern: dict[tuple, int] = {}
+    by_ident: dict[int, int] = {}
     rowid = np.empty(n, dtype=np.int64)
     for i, row in enumerate(rows):
-        rid = intern.get(row)
+        rid = by_ident.get(id(row))
         if rid is None:
-            rid = intern[row] = len(intern)
+            rid = intern.get(row)
+            if rid is None:
+                rid = intern[row] = len(intern)
+            by_ident[id(row)] = rid
         rowid[i] = rid
+    del by_ident
 
     # ordinals: memory instructions and pointer admissions before i
     kinds = core.kind_arr
@@ -98,12 +122,81 @@ def _skip_core(program, core):
             acc[:n - off] = acc[:n - off] * 1000003 + shifted
         pdg = acc
 
-    # anchor row: the most frequent row with an acceptable cadence.
-    # Its occurrences are grouped by *phase* (the upcoming-row digest)
-    # so that consecutive anchors of one group sit at the same loop
-    # offset — one group per recurring phase, each decimated to the
-    # target spacing.  Distinct trace sections (a DCT loop followed by
-    # a quantization loop, say) contribute their own anchor groups.
+    # anchors, first source: compiler-declared loop regions.  Two
+    # seeding schemes cover the two ways media traces repeat:
+    #
+    # * *iteration starts* inside one long loop (an FIR over a frame,
+    #   a motion-compensation row walk) — known periodic positions
+    #   from the verified signature, strided up to the spacing floor;
+    # * *region starts* across repeated instances of the same loop
+    #   shape (the per-block IDCT of every 8x8 block) — an individual
+    #   8-trip loop has ramping store-conflict structure and never
+    #   verifies against itself, but consecutive *blocks* repeat
+    #   wholesale, so the loop-entry positions form the periodic grid.
+    #
+    # Dense grids cost nothing once skips chain (anchors inside a
+    # skipped span are never visited) and per-phase patience bounds
+    # the probe cost when they don't; a sparse grid would push the
+    # period past the store-window bound in
+    # :meth:`_SkipState._verify` on long traces.
+    anchors = None
+    horizon = _SKIP_HORIZON
+    all_regions = coverage_regions(getattr(program, "loops", ()))
+    if all_regions:
+        seeded = bytearray(n)
+        any_set = False
+        for sig in all_regions:
+            if sig.trips < 4:
+                continue
+            length = sig.body_len
+            step = max(1, -(-_MIN_SPACING_FLOOR // length))
+            count = sig.trips // step
+            if count < 3:
+                continue
+            stride = step * length
+            for j in range(count):
+                seeded[sig.start + j * stride] = 1
+            any_set = True
+            # widen the span bound to fit one anchor period of this
+            # region, else a long loop body can never verify
+            pm_iter = int(memord[min(sig.start + stride, n)]
+                          - memord[sig.start])
+            if horizon < pm_iter <= _SKIP_HORIZON_CAP:
+                horizon = pm_iter
+        by_shape: dict[tuple, list] = {}
+        for sig in all_regions:
+            by_shape.setdefault((sig.body_len, sig.trips),
+                                []).append(sig.start)
+        for starts in by_shape.values():
+            if len(starts) < 3:
+                continue
+            picked = []
+            last = -_MAX_SPACING
+            for s0 in starts:
+                if s0 - last >= _MIN_SPACING_FLOOR:
+                    picked.append(s0)
+                    last = s0
+            if len(picked) >= 3:
+                for s0 in picked:
+                    seeded[s0] = 1
+                any_set = True
+                gap = max(int(memord[b] - memord[a]) for a, b in
+                          zip(picked, picked[1:]))
+                if horizon < gap <= _SKIP_HORIZON_CAP:
+                    horizon = gap
+        if any_set:
+            anchors = seeded
+
+    # second source, merged with the first: the most frequent row with
+    # an acceptable cadence.  Its occurrences are grouped by *phase*
+    # (the upcoming-row digest) so that consecutive anchors of one
+    # group sit at the same loop offset — one group per recurring
+    # phase, each decimated to the target spacing.  Distinct trace
+    # sections (a DCT loop followed by a quantization loop, say)
+    # contribute their own anchor groups.  Periodicity the compiler
+    # did not declare (an outer loop over non-affine block bases, a
+    # workload without marks) is still caught here.
+    seeded_anchors = anchors
     anchors = None
     if n:
         min_spacing = max(_MIN_SPACING_FLOOR, n // _MAX_ANCHORS)
@@ -154,9 +247,18 @@ def _skip_core(program, core):
             if not any_set:
                 anchors = None
 
+    if seeded_anchors is not None:
+        if anchors is None:
+            anchors = seeded_anchors
+        else:
+            for pos, flag in enumerate(seeded_anchors):
+                if flag:
+                    anchors[pos] = 1
+
     positions_list = ([k for k, flag in enumerate(anchors) if flag]
                       if anchors is not None else None)
-    tables = (rowid, memord, ptrord, anchors, positions_list, pdg)
+    tables = (rowid, memord, ptrord, anchors, positions_list, pdg,
+              horizon)
     memo["grid-skip-core"] = tables
     return tables
 
@@ -182,7 +284,7 @@ def _skip_gates(program, gates, ptrord, proc):
     return tables
 
 
-def _skip_store_pattern(program, d, l2_line: int):
+def _skip_store_pattern(program, d, l2_line: int, horizon: int):
     """Store→load conflict structure, position-relative (memoized).
 
     For every memory instruction: the set of earlier stores whose
@@ -194,39 +296,40 @@ def _skip_store_pattern(program, d, l2_line: int):
     absolute line addresses differ.  The touched-line sets are a pure
     function of the trace and the L2 line size, so the tables are
     shared by every configuration with that line size.
+
+    Sources are tracked within the trace's span-bound lookback only
+    (the per-line buckets are age-pruned as they are read).  Exactness
+    survives the truncation because every skip is bounded so that any
+    in-span store→load conflict distance stays inside the window (see
+    :meth:`_SkipState._verify`); gates older than that are pinned by
+    the anchor state capture and reconstructed by the gate
+    translation instead.
     """
     memo = _program_memo(program)
-    key = ("grid-skip-store", l2_line)
+    key = ("grid-skip-store", l2_line, horizon)
     tables = memo.get(key)
     if tables is not None:
         return tables
     by_line: dict[int, list[int]] = {}
-    overflow: set[int] = set()
     counts: list[int] = []
     srcs: list[int] = []
     m = 0
     for i, (_to_l1, _request, lines, is_store) in d.mem.items():
+        oldest = m - horizon
         if is_store:
             counts.append(0)
             for line in lines:
-                bucket = by_line.setdefault(line, [])
-                bucket.append(m)
-                if len(bucket) > _STORE_PATTERN_CAP:
-                    bucket.pop(0)
-                    overflow.add(line)
+                by_line.setdefault(line, []).append(m)
         else:
             sources: set[int] = set()
-            poisoned = False
             for line in lines:
-                if line in overflow:
-                    poisoned = True
-                    break
-                sources.update(by_line.get(line, ()))
-            if poisoned:
-                counts.append(-(m + 1))  # unique: never matches
-            else:
-                counts.append(len(sources))
-                srcs.extend(m - s for s in sorted(sources))
+                bucket = by_line.get(line)
+                if bucket:
+                    while bucket and bucket[0] < oldest:
+                        bucket.pop(0)
+                    sources.update(bucket)
+            counts.append(len(sources))
+            srcs.extend(m - s for s in sorted(sources))
         m += 1
     tables = (np.asarray(counts, dtype=np.int64),
               np.asarray(srcs, dtype=np.int64),
@@ -271,9 +374,10 @@ def _lead_run(base: np.ndarray, tail: np.ndarray, period: int,
 class _SkipState:
     """Per-run anchor table + fast-forward executor for one config."""
 
-    #: give up probing after this many anchor visits without a
-    #: successful skip — a trace whose state never recurs should not
-    #: keep paying captures
+    #: give up probing a *phase* after this many of its anchor visits
+    #: without a successful skip — patience is per phase digest, so one
+    #: non-recurring trace section (a prologue, a ragged tail) cannot
+    #: poison skipping for the periodic sections around it
     _PATIENCE = 64
     #: recent same-cheap-key candidates kept per key: the true period
     #: may be several near-misses long, so a match must be attempted
@@ -282,14 +386,20 @@ class _SkipState:
 
     def __init__(self, core, proc, rowid, memord, ptrord, anchors,
                  positions, pdg, grel, prel, scounts, ssrcs, soff,
-                 traffic, last_load, readers, writers, gate_lines):
+                 traffic, last_load, readers, writers, gate_lines,
+                 horizon):
         self.n = core.n
+        self.horizon = horizon
         self.window = proc.window
         self.ptr_cap = proc.extra_ptr_regs
         self.last_load = last_load
         self.readers = readers
         self.writers = writers
         self.gate_lines = gate_lines
+        #: mem-ordinal -> complete cycle of every store the walk has
+        #: executed; read back by the gate translation to reconstruct
+        #: the landed conflict gates from the base period's schedule
+        self.store_completes: dict[int, int] = {}
         self.vl = core.vl_arr
         self.rowid = rowid
         self.memord = memord
@@ -310,8 +420,8 @@ class _SkipState:
         self.seen: dict[tuple, list] = {}
         self.visits = 0
         self.hits = 0
-        self.last_hit_visit = 0
-        self.dead = False
+        self.miss_by_phase: dict[int, int] = {}
+        self.dead_phases: set[int] = set()
 
     def _config_arrays(self):
         """Per-config stream arrays for segment verification (lazy)."""
@@ -355,19 +465,28 @@ class _SkipState:
         # live gates are canonicalized by which future accesses will
         # observe them (reader/writer ordinal distances), not by the
         # absolute line address — iteration k's output line and
-        # iteration k+1's are different addresses with the same role
+        # iteration k+1's are different addresses with the same role.
+        # Tails are truncated at the maximum skip distance: an access
+        # further out happens after any licensed skip has landed, where
+        # the translated gate dict (not this key) governs it.
+        horizon = self.horizon
         store_key = []
         for line, v in store_lines.items():
             rd = self.readers.get(line, ())
             wr = self.writers.get(line, ())
             ri = bisect_left(rd, m)
             wi = bisect_left(wr, m)
-            if len(rd) - ri + len(wr) - wi > 12:
-                store_key.append((line, 0, v - base))  # too busy: exact
-            else:
-                store_key.append(
-                    (tuple(x - m for x in rd[ri:]),
-                     tuple(x - m for x in wr[wi:]), v - base))
+            re = bisect_left(rd, m + horizon, ri)
+            if re == ri:
+                # no load inside any licensed skip span reads this
+                # line, so its value cannot influence the span's
+                # schedule — it only has to *translate* at landing,
+                # which works from the live value, not this key
+                continue
+            we = bisect_left(wr, m + horizon, wi)
+            store_key.append(
+                (tuple(x - m for x in rd[ri:re]),
+                 tuple(x - m for x in wr[wi:we]), v - base))
         store_key.sort(key=repr)
 
         # every instruction from ``i`` on reads retire gates at indices
@@ -437,6 +556,15 @@ class _SkipState:
         m2 = int(self.memord[i2])
         pm = m2 - m1
         if pm:
+            # Keep every in-span store→load conflict distance inside
+            # the tracked window: sources reach back at most one period
+            # past a load's own period start, so k*pm <= window/2 (with
+            # pm itself <= window/2) guarantees the pattern arrays
+            # verified below cover every gate the span can read that
+            # the anchor capture did not already pin.
+            if pm > self.horizon:
+                return 0
+            k = min(k, max(1, self.horizon // pm))
             (mk, mstore, mbusy, moffset, refcnt, ref_off,
              ref_lat) = self._config_arrays()
             for arr in (mk, mstore, mbusy, moffset, refcnt,
@@ -461,55 +589,59 @@ class _SkipState:
         return k
 
 
-    def _role_signature(self, line, m):
-        """Future reader/writer ordinal distances of a line at ``m``."""
-        rd = self.readers.get(line, ())
-        wr = self.writers.get(line, ())
-        return (tuple(x - m for x in rd[bisect_left(rd, m):]),
-                tuple(x - m for x in wr[bisect_left(wr, m):]))
+    def _translate_store_gates(self, store_lines, m, pm, k, delta):
+        """Reconstruct the landed conflict-gate dict exactly, or None.
 
-    def _translate_store_gates(self, store_lines, m, new_m, shift):
-        """Map live conflict gates onto the landed position, or None.
+        The sequential walk's gate on a line at the landing is the max
+        of (a) its value entering the span — the current entry, any
+        pruned-dead components being unobservable by construction —
+        and (b) the completes of the span's gate-recording stores on
+        that line.  The verified equivariance pins every in-span
+        store's complete to its base-period image::
 
-        Gates are keyed by absolute line address; the landed state's
-        gates belong to the skipped iterations' counterpart stores.
-        Each key is translated through the pattern: the last
-        gate-recording writer of the line maps to the writer
-        ``new_m - m`` store ordinals later, and the entry moves to
-        that writer's line in the same gate slot — accepted only when
-        the counterpart line's future reader/writer distances at the
-        landed position equal the original's at the match position
-        (the entry must provably play the identical role there).  Any
-        entry that fails vetoes the whole skip.
+            complete(s0 + (j + 1) * pm) == complete(s0) + (j + 1) * delta
+
+        for ``s0`` in the base period ``[m - pm, m)``, whose actual
+        completes the walk retained in :attr:`store_completes` (and a
+        chained skip re-materializes at its landing, below).  The
+        landed dict is therefore computed directly — no structural
+        case analysis, and the only veto is a missing base complete
+        (a base-period ordinal that was never walked as a store while
+        its in-span image records a gate).
         """
-        if not store_lines:
-            return {}
-        ord_shift = new_m - m
+        translated = dict(store_lines)
+        if pm == 0 or k <= 0:
+            return translated
+        new_m = m + k * pm
+        shift = k * delta
+        completes = self.store_completes
         gate_lines = self.gate_lines
-        translated: dict[int, int] = {}
-        for line, v in store_lines.items():
-            writer_list = self.writers.get(line, ())
-            src_writer = None
-            for w in reversed(
-                    writer_list[:bisect_left(writer_list, m)]):
-                if line in gate_lines[w]:
-                    src_writer = w
-                    break
-            if src_writer is None:
+        for s in range(m, new_m):
+            lines = gate_lines[s]
+            if not lines:
+                continue
+            c0 = completes.get(m - pm + (s - m) % pm)
+            if c0 is None:
                 return None
-            dst = gate_lines[src_writer + ord_shift]
-            slot_idx = gate_lines[src_writer].index(line)
-            if slot_idx >= len(dst):
-                return None
-            new_line = dst[slot_idx]
-            src_rd, src_wr = self._role_signature(line, m)
-            dst_rd, dst_wr = self._role_signature(new_line, new_m)
-            if src_rd != dst_rd or src_wr != dst_wr:
-                return None
-            value = v + shift
-            if value > translated.get(new_line, 0):
-                translated[new_line] = value
+            w = c0 + ((s - m) // pm + 1) * delta
+            for line in lines:
+                if w > translated.get(line, 0):
+                    translated[line] = w
+        # Keep the chain alive: the landing's preceding period was
+        # skipped, not walked, so its completes are materialized from
+        # the base period's — the next link's base period is this one.
+        for r in range(pm):
+            c0 = completes.get(m - pm + r)
+            if c0 is not None:
+                completes[new_m - pm + r] = c0 + shift
         return translated
+
+    def _miss(self, phase: int) -> None:
+        misses = self.miss_by_phase.get(phase, 0) + 1
+        self.miss_by_phase[phase] = misses
+        if misses > self._PATIENCE:
+            self.dead_phases.add(phase)
+        return None
 
     # -- the entry point called from the scheduler loop --------------------
 
@@ -518,20 +650,20 @@ class _SkipState:
               int_used, simd_used, mem_used, l1_used, l1_scan,
               int_free, simd_free, d3_free, vec_free, sb,
               store_lines, store_max, retire_hist, ptr_hist):
-        if self.dead or i < self.window:
-            # dead: patience ran out with no skips — stop paying for
-            # captures.  i < window: the window-capped history argument
-            # needs the graduation window component live for every
-            # remaining instruction.
+        if i < self.window:
+            # the window-capped history argument needs the graduation
+            # window component live for every remaining instruction
+            return None
+        phase = int(self.pdg[i])
+        if phase in self.dead_phases:
+            # this phase's patience ran out with no skips — stop
+            # paying for its captures; other phases probe on
             return None
         self.visits += 1
-        if self.visits - self.last_hit_visit > self._PATIENCE:
-            self.dead = True
-            return None
         base = dispatch_min
         floor = base + 1
         cheap = (
-            int(self.pdg[i]),
+            phase,
             fetch_cycle - base if fetch_cycle >= base else -1,
             fetch_in_use if fetch_cycle >= base else 0,
             retire_cycle - base, retire_in_use,
@@ -546,14 +678,29 @@ class _SkipState:
             if len(self.seen) > 256:
                 self.seen.clear()
             self.seen[cheap] = [(i, base, None)]
-            return None
+            return self._miss(phase)
+        # Prefix gate: the full canonical capture (and the verify that
+        # may follow) is only worth paying against a candidate whose
+        # upcoming rows actually repeat.  A parked key-less candidate
+        # costs nothing and behaves exactly like a first visit: the
+        # *next* same-prefix anchor captures against it, so no match
+        # is ever delayed, while anchors in aperiodic stretches fall
+        # through here for the price of one short array compare.
+        rowid = self.rowid
+        pref = rowid[i:i + 64]
+        live = [c for c in candidates
+                if np.array_equal(rowid[c[0]:c[0] + 64], pref)]
+        if not live:
+            candidates.insert(0, (i, base, None))
+            del candidates[self._CANDIDATES:]
+            return self._miss(phase)
         key = self._capture(
             i, m, base, fetch_cycle, fetch_in_use, retire_cycle,
             retire_in_use, fetch_min, last_retire, int_used, simd_used,
             mem_used, l1_used, l1_scan, int_free, simd_free, d3_free,
             vec_free, sb, store_lines, retire_hist, ptr_hist)
         match = None
-        for i1, base1, key1 in candidates:
+        for i1, base1, key1 in live:
             if key1 is not None and key1 == key and i1 < i:
                 k = self._verify(i1, i)
                 if k > 0:
@@ -562,25 +709,36 @@ class _SkipState:
         candidates.insert(0, (i, base, key))
         del candidates[self._CANDIDATES:]
         if match is None:
-            return None
+            return self._miss(phase)
         i1, base1, k = match
         # live conflict gates must be translatable onto the landed
         # position before anything is mutated; an untranslatable gate
         # vetoes the skip (exactness first, speed second)
         translated = self._translate_store_gates(
             store_lines, m,
-            m + k * (int(self.memord[i]) - int(self.memord[i1])),
-            k * (base - base1))
+            int(self.memord[i]) - int(self.memord[i1]), k,
+            base - base1)
         if translated is None:
-            return None
+            return self._miss(phase)
         self.hits += 1
-        self.last_hit_visit = self.visits
+        self.miss_by_phase[phase] = 0
 
         # fast-forward k whole periods
         p = i - i1
         delta = base - base1
         shift = k * delta
         new_i = i + k * p
+        # Seed the chain's next link: the anchor one period before the
+        # landing was skipped over, but its canonical key provably
+        # equals this one (the canonicalization is base-relative and
+        # the verified equivariance shifts its state by a uniform
+        # (k-1)*delta).  Without this entry the next visit could only
+        # match at the full skip distance, demanding a period the
+        # remaining trace can no longer repeat.
+        if k > 1:
+            candidates.insert(0, (new_i - p, base + (k - 1) * delta,
+                                  key))
+            del candidates[self._CANDIDATES:]
         new_m = m + k * (int(self.memord[i]) - int(self.memord[i1]))
         pp = int(self.ptrord[i]) - int(self.ptrord[i1])
         new_p_ord = p_ord + k * pp
@@ -626,13 +784,14 @@ def _skip_state_for(program, d, proc, memsys, gates, traffic,
     core = d.core
     if core.n < max(4 * _MIN_SPACING_FLOOR, 2 * proc.window):
         return None
-    rowid, memord, ptrord, anchors, positions, pdg = \
+    rowid, memord, ptrord, anchors, positions, pdg, horizon = \
         _skip_core(program, core)
     if anchors is None:
         return None
     grel, prel = _skip_gates(program, gates, ptrord, proc)
     scounts, ssrcs, soff = _skip_store_pattern(
-        program, d, memsys.hierarchy.l2_line)
+        program, d, memsys.hierarchy.l2_line, horizon)
     return _SkipState(core, proc, rowid, memord, ptrord, anchors,
                       positions, pdg, grel, prel, scounts, ssrcs, soff,
-                      traffic, last_load, readers, writers, gate_lines)
+                      traffic, last_load, readers, writers, gate_lines,
+                      horizon)
