@@ -14,6 +14,9 @@ Run against a live ``repro serve --backend remote`` instance with
   exactly once (completions == shards, zero duplicates); ``warm`` (a
   restart over the same result cache, no workers needed) simulated and
   dispatched **nothing**;
+* scrapes ``GET /v1/metrics`` and asserts the core Prometheus series
+  agree with the phase (cold: simulations counter == unique specs and
+  at least two fleet workers reported in; warm: zero simulations);
 * recomputes the grid with an in-process ``Engine.run_many`` and
   asserts the wire results are byte-identical (``RunStats.to_dict``);
 * writes the results keyed by spec digest to ``--out`` (sorted,
@@ -30,6 +33,17 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.engine import Engine  # noqa: E402
 from repro.harness.experiments import fig3_sweep  # noqa: E402
 from repro.service import ServiceClient  # noqa: E402
+
+
+def _scrape(client: ServiceClient) -> dict:
+    """``/v1/metrics`` as a ``{series name: value}`` dict."""
+    out = {}
+    for line in client.metrics().splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        out[name] = float(value)
+    return out
 
 
 def main(argv=None) -> int:
@@ -77,6 +91,25 @@ def main(argv=None) -> int:
         assert engine_stats["disk_hits"] == len(unique)
         # the warm grid never touched the worker fleet
         assert backend_stats["enqueued_shards"] == 0, backend_stats
+
+    series = _scrape(client)
+    for name in ("repro_engine_simulations_total",
+                 "repro_queue_pending_shards",
+                 "repro_queue_oldest_lease_age_seconds",
+                 "repro_fleet_workers",
+                 "repro_scheduler_job_latency_seconds_count"):
+        assert name in series, f"/v1/metrics is missing {name}"
+    assert series["repro_engine_simulations_total"] == \
+        engine_stats["simulations"], series
+    assert series["repro_queue_pending_shards"] == 0, series
+    assert series["repro_scheduler_job_latency_seconds_count"] == \
+        len(unique), series
+    if args.phase == "cold":
+        # both CI workers leased work, so both reported in
+        assert series["repro_fleet_workers"] >= 2, series
+        assert series["repro_worker_shard_seconds_count"] >= 1, series
+    print(f"[smoke] {args.phase}: /v1/metrics serves "
+          f"{len(series)} series consistent with /v1/stats")
 
     local = Engine(use_cache=False, jobs=2).run_many(specs)
     mismatched = [spec.label() for spec in unique

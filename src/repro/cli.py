@@ -25,9 +25,11 @@ Subcommands:
   axes are honored.
 * ``serve`` — host the job service: an asyncio HTTP server exposing
   this engine's ``run_many``/``sweep`` with request batching and
-  in-flight dedup (see ``docs/service.md``).  With ``--backend
-  remote`` it also serves the ``/v1/work/*`` pull endpoints for
-  ``repro worker`` processes.
+  in-flight dedup (see ``docs/service.md``), plus a Prometheus text
+  exposition on ``GET /v1/metrics`` (latency histograms, queue depth,
+  lease ages, fleet health).  With ``--backend remote`` it also
+  serves the ``/v1/work/*`` pull endpoints for ``repro worker``
+  processes.
 * ``submit`` — run a declarative grid on a ``repro serve`` instance
   through the client SDK (same axes flags as ``sweep``).
 * ``worker`` — attach to a remote-backend service and execute leased

@@ -125,7 +125,7 @@ class Engine:
     def __init__(self, seed: int = 0, jobs: int = 1,
                  cache_dir=None, use_cache: bool = True,
                  backend: ExecutionBackend | str | None = None,
-                 grid_mode: str = "auto"):
+                 grid_mode: str = "auto", metrics=None):
         if grid_mode not in GRID_MODES:
             raise ValueError(
                 f"unknown grid mode {grid_mode!r}; expected one of "
@@ -141,6 +141,16 @@ class Engine:
         self.cache: ResultCache | None = (
             ResultCache(cache_dir) if use_cache else None)
         self.stats = EngineStats()
+        #: a :class:`repro.service.metrics.Metrics` registry this
+        #: engine's counters are bound to (``ServiceServer`` binds one
+        #: automatically; pass your own to share a registry between an
+        #: engine and a server, or to expose a CLI engine)
+        self.metrics = metrics
+        if metrics is not None:
+            # imported lazily: repro.engine must not import the
+            # service package at module load (the service imports us)
+            from repro.service.metrics import instrument_engine
+            instrument_engine(metrics, self)
         self._memo: dict[RunSpec, RunStats] = {}
         self._lock = threading.RLock()
 

@@ -90,8 +90,8 @@ class WorkQueue:
         self._pending: deque[WorkShard] = deque()
         #: every enqueued-but-not-yet-collected shard, by id
         self._shards: dict[str, WorkShard] = {}
-        #: shard id -> (lease id, worker id, expiry deadline)
-        self._leases: dict[str, tuple[str, str, float]] = {}
+        #: shard id -> (lease id, worker id, issued at, expiry deadline)
+        self._leases: dict[str, tuple[str, str, float, float]] = {}
         #: completed-but-not-yet-collected results, by shard id
         self._done: dict[str, dict] = {}
         #: shard ids whose results were collected or discarded —
@@ -177,7 +177,8 @@ class WorkQueue:
         """
         with self._cond:
             now = self._clock()
-            for sid, (_lease, _owner, until) in self._leases.items():
+            for sid, (_lease, _owner, _issued, until) in \
+                    self._leases.items():
                 if until <= now:
                     lease = self._issue(self._shards[sid], worker_id)
                     self._counters["releases"] += 1
@@ -188,8 +189,9 @@ class WorkQueue:
 
     def _issue(self, shard: WorkShard, worker_id: str) -> WorkLease:
         lease_id = _fresh_id()
+        now = self._clock()
         self._leases[shard.shard_id] = (
-            lease_id, worker_id, self._clock() + self.lease_ttl)
+            lease_id, worker_id, now, now + self.lease_ttl)
         self._counters["leases"] += 1
         return WorkLease(lease_id=lease_id, worker_id=worker_id,
                          ttl=self.lease_ttl, shard=shard)
@@ -239,8 +241,20 @@ class WorkQueue:
     # -- introspection -----------------------------------------------------
 
     def counters(self) -> dict:
+        """Counter snapshot plus live depth and lease-age gauges.
+
+        ``oldest_lease_age`` is the seconds the longest-outstanding
+        lease has been held (0.0 when nothing is leased) — the fleet-
+        health signal: an age past ``lease_ttl`` means a worker took a
+        shard and has not come back, and the shard is due a re-lease.
+        """
         with self._cond:
             snapshot = dict(self._counters)
             snapshot["pending_shards"] = len(self._pending)
             snapshot["leased_shards"] = len(self._leases)
+            now = self._clock()
+            snapshot["oldest_lease_age"] = max(
+                (now - issued
+                 for _lease, _owner, issued, _until
+                 in self._leases.values()), default=0.0)
             return snapshot

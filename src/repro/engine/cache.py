@@ -24,6 +24,7 @@ import json
 import os
 import sys
 import tempfile
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -90,6 +91,13 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_root()
         self.version = version if version is not None else code_version()
         self.dir = self.root / self.version
+        # entry count for the active version, maintained incrementally:
+        # one directory scan on first use, then +1 per fresh `put`.
+        # `/v1/stats` and the metrics scraper read `len(cache)` on
+        # every poll, so re-globbing the directory each time would be
+        # O(entries) stat traffic per scrape.
+        self._count: int | None = None
+        self._count_lock = threading.Lock()
 
     def path_for(self, spec: RunSpec) -> Path:
         return self.dir / f"{spec.digest()}.json"
@@ -123,6 +131,7 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh, sort_keys=True)
+            fresh = not path.exists()
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -130,13 +139,34 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        with self._count_lock:
+            if self._count is not None and fresh:
+                self._count += 1
         return path
 
     def __len__(self) -> int:
-        """Number of entries stored for the current code version."""
+        """Number of entries stored for the current code version.
+
+        Scans the directory once, then tracks fresh ``put`` calls
+        incrementally — entries written by *other* processes sharing
+        the directory are picked up by the next :meth:`refresh_count`
+        (or a new ``ResultCache``), not on every ``len``.
+        """
+        with self._count_lock:
+            if self._count is None:
+                self._count = self._scan_count()
+            return self._count
+
+    def _scan_count(self) -> int:
         if not self.dir.is_dir():
             return 0
         return sum(1 for _ in self.dir.glob("*.json"))
+
+    def refresh_count(self) -> int:
+        """Re-scan the directory (picks up other writers' entries)."""
+        with self._count_lock:
+            self._count = self._scan_count()
+            return self._count
 
     # -- management (the ``repro cache`` subcommand) -----------------------
 

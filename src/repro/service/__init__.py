@@ -10,7 +10,10 @@ The execution API, redesigned around *jobs* instead of direct calls:
   dedup, windowed ``run_many`` coalescing, executor offload);
 * :mod:`repro.service.server` — stdlib-asyncio HTTP server
   (``POST /v1/jobs``, ``GET /v1/jobs/<id>``, ``/v1/health``,
-  ``/v1/stats``);
+  ``/v1/stats``, ``/v1/metrics``);
+* :mod:`repro.service.metrics` — dependency-free metric registry
+  (counters / gauges / fixed-bucket histograms) rendered as a
+  Prometheus text exposition on ``GET /v1/metrics``;
 * :mod:`repro.service.client` — blocking ``ServiceClient`` SDK whose
   ``run_many``/``sweep`` return the in-process engine's result shape;
 * :mod:`repro.service.worker` — the pull-based ``ServiceWorker`` loop
@@ -24,6 +27,14 @@ protocol.
 """
 
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    instrument_engine,
+    instrument_work_queue,
+)
 from repro.service.scheduler import (
     BatchScheduler,
     Job,
@@ -43,9 +54,10 @@ from repro.service.server import ServiceServer, background_server, serve
 from repro.service.worker import ServiceWorker, WorkerStats, work
 
 __all__ = [
-    "SCHEMA_VERSION", "BatchScheduler", "ErrorReply", "Job",
-    "JobRequest", "JobResult", "JobStore", "SchedulerStats",
-    "SchemaError", "ServiceClient", "ServiceError", "ServiceServer",
-    "ServiceWorker", "WorkCompletion", "WorkLeaseGrant", "WorkerStats",
-    "background_server", "serve", "work",
+    "SCHEMA_VERSION", "BatchScheduler", "Counter", "ErrorReply",
+    "Gauge", "Histogram", "Job", "JobRequest", "JobResult", "JobStore",
+    "Metrics", "SchedulerStats", "SchemaError", "ServiceClient",
+    "ServiceError", "ServiceServer", "ServiceWorker", "WorkCompletion",
+    "WorkLeaseGrant", "WorkerStats", "background_server",
+    "instrument_engine", "instrument_work_queue", "serve", "work",
 ]

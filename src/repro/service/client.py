@@ -108,6 +108,32 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
 
+    def metrics(self) -> str:
+        """``GET /v1/metrics``: the Prometheus text exposition.
+
+        The one non-JSON endpoint, so it bypasses ``_request``.
+        """
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            connection.request("GET", self.prefix + "/v1/metrics",
+                               headers={"Accept": "text/plain"})
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        if not 200 <= status < 300:
+            reply = None
+            try:
+                reply = ErrorReply.from_wire(
+                    json.loads(raw.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError,
+                    SchemaError):
+                pass
+            raise ServiceError(status, reply)
+        return raw.decode("utf-8")
+
     def submit(self, specs: Iterable[RunSpec]) -> JobResult:
         """POST a spec grid; returns the initial job snapshot."""
         request = JobRequest(specs=tuple(specs))
@@ -153,29 +179,44 @@ class ServiceClient:
 
     # -- worker pull protocol (remote execution backend) -------------------
 
-    def lease_work(self, worker_id: str) -> WorkLeaseGrant | None:
+    def lease_work(self, worker_id: str,
+                   report: Mapping | None = None
+                   ) -> WorkLeaseGrant | None:
         """Poll for one shard of work; None when the queue is idle.
 
-        Only meaningful against ``repro serve --backend remote`` — any
-        other server answers 404 ``no-work-queue`` (raised as
-        :class:`ServiceError`).
+        ``report`` (optional) is the worker's cumulative counter dict
+        — the server folds it into its fleet-health gauges on
+        ``/v1/metrics``.  Only meaningful against ``repro serve
+        --backend remote`` — any other server answers 404
+        ``no-work-queue`` (raised as :class:`ServiceError`).
         """
-        data = self._request("POST", "/v1/work/lease", {
-            "schema_version": SCHEMA_VERSION, "worker_id": worker_id})
+        payload: dict = {"schema_version": SCHEMA_VERSION,
+                         "worker_id": worker_id}
+        if report is not None:
+            payload["report"] = dict(report)
+        data = self._request("POST", "/v1/work/lease", payload)
         raw = data.get("lease")
         if raw is None:
             return None
         return WorkLeaseGrant.from_wire(raw)
 
     def complete_work(self, worker_id: str, grant: WorkLeaseGrant,
-                      results: Mapping[RunSpec, RunStats]) -> dict:
+                      results: Mapping[RunSpec, RunStats], *,
+                      elapsed: float | None = None,
+                      report: Mapping | None = None) -> dict:
         """Upload a leased shard's results; returns the server's
-        ``{accepted, fresh, duplicate}`` acknowledgment."""
+        ``{accepted, fresh, duplicate}`` acknowledgment.
+
+        ``elapsed`` (seconds spent simulating the shard) and
+        ``report`` (cumulative worker counters) are optional additive
+        observability fields feeding the server's ``/v1/metrics``.
+        """
         completion = WorkCompletion(
             worker_id=worker_id, lease_id=grant.lease_id,
             shard_id=grant.shard_id,
             results=tuple((spec, results[spec])
-                          for spec in grant.specs))
+                          for spec in grant.specs),
+            elapsed=elapsed, report=report)
         return self._request("POST", "/v1/work/complete",
                              completion.to_wire())
 

@@ -23,6 +23,7 @@ HTTP (``GET /v1/jobs/<id>``).
 from __future__ import annotations
 
 import asyncio
+import time
 import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -68,7 +69,8 @@ class BatchScheduler:
     """
 
     def __init__(self, engine: Engine, *, window: float = 0.02,
-                 max_batch: int = 64, max_workers: int = 2):
+                 max_batch: int = 64, max_workers: int = 2,
+                 metrics=None):
         self.engine = engine
         self.window = window
         self.max_batch = max_batch
@@ -81,6 +83,38 @@ class BatchScheduler:
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-batch")
         self._closed = False
+        self._latency = None
+        self._batch_sizes = None
+        if metrics is not None:
+            self._bind_metrics(metrics)
+
+    def _bind_metrics(self, metrics) -> None:
+        """Publish coalescing counters and latency/size histograms.
+
+        The counters are callback-backed views of ``self.stats`` (one
+        registry per scheduler — sharing a registry between schedulers
+        raises on the duplicate names, by design).
+        """
+        from repro.service.metrics import LATENCY_BUCKETS, SIZE_BUCKETS
+        stats = self.stats
+        for field, help_text in (
+                ("submitted", "Specs submitted, before any dedup."),
+                ("coalesced",
+                 "Submissions that attached to an in-flight future."),
+                ("batches", "Engine.run_many dispatches issued."),
+                ("batched_specs",
+                 "Unique specs carried by those dispatches.")):
+            metrics.counter(f"repro_scheduler_{field}_total", help_text,
+                            fn=lambda f=field: getattr(stats, f))
+        self._latency = metrics.histogram(
+            "repro_scheduler_job_latency_seconds",
+            "Submit-to-resolution latency per unique spec "
+            "(memo hits and fresh simulations alike).",
+            buckets=LATENCY_BUCKETS)
+        self._batch_sizes = metrics.histogram(
+            "repro_scheduler_batch_size_specs",
+            "Valid specs per dispatched batch.",
+            buckets=SIZE_BUCKETS)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -137,6 +171,14 @@ class BatchScheduler:
                 future = loop.create_future()
                 self._inflight[spec] = future
                 self._queue.append(spec)
+                if self._latency is not None:
+                    # one observation per unique spec, taken at
+                    # resolution time so queue wait + batching window
+                    # + simulation all count
+                    submitted_at = time.monotonic()
+                    future.add_done_callback(
+                        lambda _f, t0=submitted_at: self._latency
+                        .observe(time.monotonic() - t0))
             else:
                 self.stats.coalesced += 1
             futures.append(future)
@@ -193,6 +235,8 @@ class BatchScheduler:
         # engine was actually asked to resolve
         self.stats.batches += 1
         self.stats.batched_specs += len(valid)
+        if self._batch_sizes is not None:
+            self._batch_sizes.observe(len(valid))
         try:
             results = await loop.run_in_executor(
                 self._executor, self.engine.run_many, valid)

@@ -435,14 +435,40 @@ class WorkLeaseGrant:
                    ttl=float(ttl), specs=specs, grid_mode=grid_mode)
 
 
-def work_lease_request_from_wire(payload) -> str:
-    """Decode a lease request; returns the polling ``worker_id``."""
+def _report_from_wire(payload: Mapping, path: str) -> dict | None:
+    """Decode an optional worker self-report (``WorkerStats`` dict).
+
+    Additive observability payload: numeric values keyed by counter
+    name.  ``None`` when absent — old workers simply never send one.
+    """
+    raw = payload.get("report")
+    if raw is None:
+        return None
+    raw = _require_mapping(raw, f"{path}.report")
+    report: dict = {}
+    for name, value in raw.items():
+        if not isinstance(name, str) or isinstance(value, bool) \
+                or not isinstance(value, (int, float)):
+            raise _fail(f"{path}.report",
+                        "expected numeric values keyed by counter name")
+        report[name] = value
+    return report
+
+
+def work_lease_request_from_wire(payload) -> tuple[str, dict | None]:
+    """Decode a lease request: ``(worker_id, optional self-report)``.
+
+    The report — the worker's cumulative :class:`WorkerStats` counters
+    — rides every poll, so the server's fleet view (``/v1/metrics``)
+    stays fresh even for workers that never complete anything (e.g.
+    one whose engine keeps failing shards).
+    """
     payload = _require_mapping(payload, "$")
     check_schema_version(payload)
     worker_id = _get_typed(payload, "worker_id", str, "$", _REQUIRED)
     if not worker_id:
         raise _fail("$.worker_id", "worker_id must be non-empty")
-    return worker_id
+    return worker_id, _report_from_wire(payload, "$")
 
 
 @dataclass(frozen=True)
@@ -459,9 +485,14 @@ class WorkCompletion:
     lease_id: str
     shard_id: str
     results: tuple[tuple[RunSpec, RunStats], ...]
+    #: seconds the worker spent simulating this shard (optional,
+    #: additive: feeds the server's per-shard wall-time histogram)
+    elapsed: float | None = None
+    #: the worker's cumulative counters (optional self-report)
+    report: Mapping | None = None
 
     def to_wire(self) -> dict:
-        return {
+        wire = {
             "schema_version": SCHEMA_VERSION,
             "worker_id": self.worker_id,
             "lease_id": self.lease_id,
@@ -470,6 +501,11 @@ class WorkCompletion:
                          "stats": stats_to_wire(stats)}
                         for spec, stats in self.results],
         }
+        if self.elapsed is not None:
+            wire["elapsed"] = self.elapsed
+        if self.report is not None:
+            wire["report"] = dict(self.report)
+        return wire
 
     @classmethod
     def from_wire(cls, payload) -> "WorkCompletion":
@@ -490,8 +526,18 @@ class WorkCompletion:
             stats = stats_from_wire(item.get("stats"),
                                     f"$.results[{i}].stats")
             results.append((spec, stats))
+        elapsed = payload.get("elapsed")
+        if elapsed is not None:
+            if isinstance(elapsed, bool) \
+                    or not isinstance(elapsed, (int, float)) \
+                    or elapsed < 0:
+                raise _fail("$.elapsed",
+                            "expected a non-negative number of seconds")
+            elapsed = float(elapsed)
         return cls(worker_id=worker_id, lease_id=lease_id,
-                   shard_id=shard_id, results=tuple(results))
+                   shard_id=shard_id, results=tuple(results),
+                   elapsed=elapsed,
+                   report=_report_from_wire(payload, "$"))
 
 
 # -- errors ----------------------------------------------------------------

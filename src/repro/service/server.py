@@ -13,6 +13,10 @@ No third-party dependencies: requests are parsed straight off an
 * ``GET /v1/stats`` — engine counters (simulations / hits / stores /
   dispatches), execution-backend counters, scheduler coalescing
   counters, and result-cache occupancy.
+* ``GET /v1/metrics`` — the same signals (plus latency histograms,
+  queue depth, lease ages and fleet health) as a Prometheus text
+  exposition; the one non-JSON endpoint.  Series catalog in
+  ``docs/service.md``.
 * ``POST /v1/work/lease`` / ``POST /v1/work/complete`` — the pull
   protocol for ``repro worker`` processes, available when the engine
   runs the remote execution backend (``repro serve --backend
@@ -34,6 +38,12 @@ from typing import Awaitable, Callable
 
 from repro.engine import Engine
 from repro.engine.backends.workqueue import WorkQueue, WorkQueueError
+from repro.service.metrics import (
+    LATENCY_BUCKETS,
+    Metrics,
+    instrument_engine,
+    instrument_work_queue,
+)
 from repro.service.scheduler import (
     BatchScheduler,
     Job,
@@ -78,15 +88,60 @@ class ServiceServer:
     def __init__(self, engine: Engine | None = None, *,
                  host: str = "127.0.0.1", port: int = 0,
                  window: float = 0.02, max_batch: int = 64,
-                 max_workers: int = 2, max_jobs: int = 256):
+                 max_workers: int = 2, max_jobs: int = 256,
+                 metrics: Metrics | None = None):
         self.engine = engine if engine is not None else Engine()
         self.host = host
         self.port = port
+        #: the registry behind ``GET /v1/metrics``; a fresh one per
+        #: server unless the caller shares its own (two servers on
+        #: one registry would collide on the scheduler series)
+        self.metrics = metrics if metrics is not None else Metrics()
+        instrument_engine(self.metrics, self.engine)
+        queue = getattr(self.engine.backend, "queue", None)
+        if isinstance(queue, WorkQueue):
+            instrument_work_queue(self.metrics, queue)
         self.scheduler = BatchScheduler(self.engine, window=window,
                                         max_batch=max_batch,
-                                        max_workers=max_workers)
+                                        max_workers=max_workers,
+                                        metrics=self.metrics)
         self.jobs = JobStore(limit=max_jobs)
         self._server: asyncio.AbstractServer | None = None
+        # fleet health: the latest cumulative counter report each
+        # worker attached to a lease poll or completion (additive
+        # wire field, absent from older workers)
+        self._fleet: dict[str, dict] = {}
+        self._bind_fleet_metrics()
+
+    def _bind_fleet_metrics(self) -> None:
+        fleet = self._fleet
+
+        def fleet_sum(key: str) -> float:
+            return float(sum(report.get(key, 0) or 0
+                             for report in fleet.values()))
+
+        self.metrics.gauge(
+            "repro_fleet_workers",
+            "Distinct workers that have reported in since this server "
+            "started", fn=lambda: len(fleet))
+        self.metrics.gauge(
+            "repro_fleet_failed_shards",
+            "Leased shards whose simulation raised worker-side "
+            "(summed over the fleet's reports)",
+            fn=lambda: fleet_sum("failed_shards"))
+        self.metrics.gauge(
+            "repro_fleet_worker_errors",
+            "Transient errors survived worker-side (summed over the "
+            "fleet's reports)", fn=lambda: fleet_sum("errors"))
+        self.metrics.gauge(
+            "repro_fleet_busy_seconds",
+            "Wall seconds the fleet spent simulating shards (summed "
+            "over the fleet's reports)",
+            fn=lambda: fleet_sum("busy_seconds"))
+        self._shard_seconds = self.metrics.histogram(
+            "repro_worker_shard_seconds",
+            "Worker-reported wall time per completed shard.",
+            buckets=LATENCY_BUCKETS)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -142,9 +197,14 @@ class ServiceServer:
             payload = ErrorReply(code="internal-error",
                                  message="internal server error"
                                  ).to_wire()
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):  # /v1/metrics text exposition
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n").encode("ascii")
         try:
@@ -158,7 +218,7 @@ class ServiceServer:
                 await writer.wait_closed()
 
     async def _handle_request(self, reader: asyncio.StreamReader
-                              ) -> tuple[int, dict]:
+                              ) -> tuple[int, dict | str]:
         request_line = (await reader.readline()).decode(
             "ascii", "replace").strip()
         if not request_line:
@@ -205,7 +265,7 @@ class ServiceServer:
         return await reader.readexactly(length) if length else b""
 
     async def _route(self, method: str, path: str, body: bytes
-                     ) -> tuple[int, dict]:
+                     ) -> tuple[int, dict | str]:
         if path == "/v1/jobs":
             self._require_method(method, "POST", path)
             return await self._post_job(body)
@@ -225,6 +285,9 @@ class ServiceServer:
         if path == "/v1/stats":
             self._require_method(method, "GET", path)
             return 200, self._stats_payload()
+        if path == "/v1/metrics":
+            self._require_method(method, "GET", path)
+            return 200, self.metrics.render()
         raise _HttpReply(404, ErrorReply(
             code="not-found", message=f"no such endpoint {path!r}"))
 
@@ -296,14 +359,21 @@ class ServiceServer:
                         f"workers"))
         return queue
 
+    def _note_report(self, worker_id: str,
+                     report: dict | None) -> None:
+        """Fold one worker's cumulative counters into fleet health."""
+        if report is not None:
+            self._fleet[worker_id] = report
+
     def _post_work_lease(self, body: bytes) -> tuple[int, dict]:
         queue = self._work_queue()
         try:
-            worker_id = work_lease_request_from_wire(
+            worker_id, report = work_lease_request_from_wire(
                 self._parse_json(body))
         except SchemaError as exc:
             raise _HttpReply(
                 400, ErrorReply.from_schema_error(exc)) from None
+        self._note_report(worker_id, report)
         lease = queue.lease(worker_id)
         grant = None
         if lease is not None:
@@ -320,6 +390,11 @@ class ServiceServer:
         except SchemaError as exc:
             raise _HttpReply(
                 400, ErrorReply.from_schema_error(exc)) from None
+        self._note_report(completion.worker_id,
+                          dict(completion.report)
+                          if completion.report is not None else None)
+        if completion.elapsed is not None:
+            self._shard_seconds.observe(completion.elapsed)
         try:
             fresh, duplicate = queue.complete(
                 completion.shard_id, completion.lease_id,
@@ -376,12 +451,16 @@ def serve(engine: Engine | None = None, *, host: str = "127.0.0.1",
 def background_server(engine: Engine | None = None, *,
                       host: str = "127.0.0.1", port: int = 0,
                       window: float = 0.02, max_batch: int = 64,
-                      max_workers: int = 2):
+                      max_workers: int = 2, max_jobs: int = 256,
+                      metrics: Metrics | None = None):
     """Run a server on a daemon thread; yields the started server.
 
     The event loop lives on the thread; the caller gets the bound
     ``server.url`` for a :class:`~repro.service.client.ServiceClient`.
-    Used by the tests, the examples and the CI smoke job.
+    Every :class:`ServiceServer` knob plumbs through — ``max_jobs``
+    included, so admission-control tests exercise the same 429 path a
+    foreground ``serve`` enforces.  Used by the tests, the examples
+    and the CI smoke job.
     """
     started = threading.Event()
     stop: dict = {}
@@ -390,7 +469,8 @@ def background_server(engine: Engine | None = None, *,
     async def _main() -> None:
         server = ServiceServer(engine, host=host, port=port,
                                window=window, max_batch=max_batch,
-                               max_workers=max_workers)
+                               max_workers=max_workers,
+                               max_jobs=max_jobs, metrics=metrics)
         try:
             await server.start()
         except BaseException as exc:  # propagate bind errors to caller

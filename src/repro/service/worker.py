@@ -9,15 +9,30 @@ attach to one service; the server's lease queue guarantees each shard
 is admitted exactly once no matter how many workers race or die
 mid-shard (see ``docs/backends.md``).
 
-Transient transport errors — the server restarting, a dropped
-connection — are retried with a backoff instead of killing the loop,
-so a worker fleet survives a rolling service restart.  A server
-*without* a work queue (wrong ``--backend``) is a configuration
-mistake and raises immediately.
+The loop is hardened against every per-shard failure mode:
+
+* **Engine errors** — a shard whose simulation raises (corrupt spec,
+  engine bug) is counted (``failed_shards``), logged, and *skipped*;
+  the worker keeps polling and the abandoned lease expires into a
+  re-lease for a healthy worker.  One bad shard never kills a worker.
+* **Transport errors** — a restarting or unreachable server is
+  retried under capped exponential backoff with jitter (so a whole
+  fleet does not hammer a recovering server in lockstep); the backoff
+  resets as soon as the server answers again.  A server *without* a
+  work queue (wrong ``--backend``) is a configuration mistake and
+  raises immediately.
+
+Each lease poll and completion carries the worker's cumulative
+counters as an additive ``report`` payload, which the coordinator
+folds into its fleet-health gauges on ``GET /v1/metrics`` — a worker
+whose engine keeps failing shards is visible centrally even though it
+never completes anything.
 """
 
 from __future__ import annotations
 
+import random
+import sys
 import threading
 import time
 import uuid
@@ -44,6 +59,11 @@ class WorkerStats:
     idle_polls: int = 0
     #: transient transport errors survived
     errors: int = 0
+    #: leased shards whose local simulation raised (skipped; the
+    #: lease expired into a re-lease for another worker)
+    failed_shards: int = 0
+    #: wall seconds spent simulating shards (not idle, not transport)
+    busy_seconds: float = 0.0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -52,7 +72,9 @@ class WorkerStats:
         return (f"leases={self.leases} completions={self.completions} "
                 f"specs={self.specs} "
                 f"duplicate-specs={self.duplicate_specs} "
-                f"idle-polls={self.idle_polls} errors={self.errors}")
+                f"idle-polls={self.idle_polls} errors={self.errors} "
+                f"failed-shards={self.failed_shards} "
+                f"busy-seconds={self.busy_seconds:.2f}")
 
 
 class ServiceWorker:
@@ -62,22 +84,42 @@ class ServiceWorker:
     included) and ``max_shards`` bound the loop for tests and batch
     jobs; both default to unbounded — a production worker polls
     forever until :meth:`stop` or SIGINT.
+
+    ``retry_backoff`` seeds the transient-error backoff, which doubles
+    per consecutive failure up to ``retry_backoff_max`` (with jitter)
+    and resets after any successful request.  ``clock`` and ``rng``
+    are injectable for deterministic tests.
     """
 
     def __init__(self, url: str, engine: Engine | None = None, *,
                  worker_id: str | None = None,
                  poll_interval: float = 0.2,
                  retry_backoff: float = 1.0,
+                 retry_backoff_max: float = 30.0,
                  max_idle: float | None = None,
-                 max_shards: int | None = None):
+                 max_shards: int | None = None,
+                 clock=time.monotonic,
+                 rng: random.Random | None = None):
+        if retry_backoff <= 0:
+            raise ValueError(
+                f"retry_backoff must be positive, got {retry_backoff}")
+        if retry_backoff_max < retry_backoff:
+            raise ValueError(
+                f"retry_backoff_max ({retry_backoff_max}) must be >= "
+                f"retry_backoff ({retry_backoff})")
         self.client = ServiceClient(url)
         self.engine = engine if engine is not None else Engine()
         self.worker_id = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
         self.poll_interval = poll_interval
         self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
         self.max_idle = max_idle
         self.max_shards = max_shards
         self.stats = WorkerStats()
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
+        #: current consecutive-transient-error backoff (0 = healthy)
+        self._backoff = 0.0
         self._stop = threading.Event()
 
     def stop(self) -> None:
@@ -86,35 +128,54 @@ class ServiceWorker:
 
     def run(self) -> WorkerStats:
         """Poll until stopped (or an idle/shard bound is reached)."""
-        idle_since = time.monotonic()
+        idle_since = self._clock()
         while not self._stop.is_set():
             try:
-                grant = self.client.lease_work(self.worker_id)
+                grant = self.client.lease_work(
+                    self.worker_id, report=self.stats.to_dict())
             except ServiceError as exc:
                 if exc.reply is not None and \
                         exc.reply.code == "no-work-queue":
                     raise  # misconfigured target; retrying cannot help
-                if self._idle_pause(idle_since, self.retry_backoff,
+                if self._idle_pause(idle_since, self._next_backoff(),
                                     error=True):
                     break
                 continue
             except OSError:
                 # connection refused/reset: the server may be
-                # restarting — keep polling until max_idle gives up
-                if self._idle_pause(idle_since, self.retry_backoff,
+                # restarting — keep polling (under growing backoff)
+                # until max_idle gives up
+                if self._idle_pause(idle_since, self._next_backoff(),
                                     error=True):
                     break
                 continue
+            self._backoff = 0.0  # the server answered: healthy again
             if grant is None:
                 if self._idle_pause(idle_since, self.poll_interval):
                     break
                 continue
             self.stats.leases += 1
-            results = self.engine.run_many(
-                grant.specs, grid_mode=grant.grid_mode)
+            started = self._clock()
             try:
-                reply = self.client.complete_work(self.worker_id, grant,
-                                                  results)
+                results = self.engine.run_many(
+                    grant.specs, grid_mode=grant.grid_mode)
+            except Exception as exc:  # noqa: BLE001 - shard boundary
+                # Any simulation failure is scoped to its shard: count
+                # it, log it, abandon the lease (it expires into a
+                # re-lease for a healthy worker) and keep polling.
+                self.stats.errors += 1
+                self.stats.failed_shards += 1
+                print(f"[worker] {self.worker_id}: shard "
+                      f"{grant.shard_id} failed locally and was "
+                      f"skipped: {exc!r}", file=sys.stderr)
+                idle_since = self._clock()
+                continue
+            elapsed = self._clock() - started
+            self.stats.busy_seconds += elapsed
+            try:
+                reply = self.client.complete_work(
+                    self.worker_id, grant, results, elapsed=elapsed,
+                    report=self.stats.to_dict())
             except (ServiceError, OSError):
                 # lost upload: the lease will expire and another
                 # worker (or this one) will redo the shard
@@ -129,20 +190,50 @@ class ServiceWorker:
                     break
             # the shard kept this worker busy the whole time, however
             # long it simulated: the idle budget restarts only now
-            idle_since = time.monotonic()
+            idle_since = self._clock()
         return self.stats
+
+    def _next_backoff(self) -> float:
+        """Advance the exponential backoff; returns the jittered pause.
+
+        Doubles per consecutive transient error, capped at
+        ``retry_backoff_max``; the jitter (50-100% of the current
+        level) decorrelates a fleet of workers that all lost the same
+        server at the same moment.
+        """
+        if self._backoff <= 0:
+            self._backoff = self.retry_backoff
+        else:
+            self._backoff = min(self.retry_backoff_max,
+                                self._backoff * 2)
+        return self._backoff * (0.5 + 0.5 * self._rng.random())
 
     def _idle_pause(self, idle_since: float, pause: float,
                     error: bool = False) -> bool:
-        """Sleep between polls; True when the idle budget is spent."""
+        """Sleep between polls; True when the idle budget is spent.
+
+        The budget check charges only time actually elapsed — the
+        final pause is clamped to whatever budget remains, so a worker
+        with ``max_idle=1`` really waits the full second before giving
+        up instead of surrendering one poll interval early.
+        """
         if error:
             self.stats.errors += 1
         else:
             self.stats.idle_polls += 1
-        if self.max_idle is not None and \
-                time.monotonic() - idle_since + pause > self.max_idle:
-            return True
+        if self.max_idle is not None:
+            remaining = self.max_idle - (self._clock() - idle_since)
+            if remaining <= 0:
+                return True
+            pause = min(pause, remaining)
         # wait on the stop event so stop() interrupts the pause
+        return self._wait(pause)
+
+    def _wait(self, pause: float) -> bool:
+        """Interruptible sleep; True when stop() was requested.
+
+        Isolated so fake-clock tests can substitute a virtual wait.
+        """
         return self._stop.wait(pause)
 
 

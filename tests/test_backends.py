@@ -246,10 +246,10 @@ def test_worker_idle_budget_restarts_after_long_shard():
                              specs=(spec,))]
 
     class StubClient:
-        def lease_work(self, _worker_id):
+        def lease_work(self, _worker_id, report=None):
             return grants.pop(0) if grants else None
 
-        def complete_work(self, _worker_id, grant, results):
+        def complete_work(self, _worker_id, grant, results, **kwargs):
             return {"accepted": True, "fresh": len(results),
                     "duplicate": 0}
 

@@ -205,7 +205,10 @@ def test_cli_worker_gives_up_when_idle(capsys):
     assert main(["worker", "--url", "http://127.0.0.1:1",
                  "--max-idle", "0.2", "--no-cache"]) == 0
     err = capsys.readouterr().err
-    assert "[worker]" in err and "errors=1" in err
+    # the budget is spent in full: the first refusal waits out the
+    # remaining 0.2s (backoff clamped to the budget), the second ends
+    # the loop — two error polls, not one
+    assert "[worker]" in err and "errors=2" in err
 
 
 def test_cli_worker_fails_fast_without_work_queue(capsys):
