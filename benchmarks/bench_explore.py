@@ -1,0 +1,136 @@
+"""Exploration efficiency benchmark: simulations used vs exhaustive.
+
+Answers the acceptance-criterion query — "cheapest register-file area
+within 5% of the best slowdown" over the fig9 configuration space
+(3 codings x 3 memory systems, all 5 workloads) — twice:
+
+* **explore** — the successive-halving driver, counting every spec it
+  requests from a cold engine;
+* **exhaustive** — the full candidate x workload sweep, scored post
+  hoc.
+
+``BENCH_explore.json`` records both counts, the savings, and *answer
+parity*: the frontier (as labeled vectors), the constrained optimum
+and the bound must be identical between the two routes.  Parity is a
+hard test failure — a pruning rule that changes the answer is a bug,
+not a perf regression.  The savings ratio is the soft CI gate: the
+``bench-explore`` job warns (does not fail) when pruning stops paying.
+
+Run directly (``python benchmarks/bench_explore.py``) or via pytest
+(``pytest benchmarks/bench_explore.py``).
+"""
+
+import json
+from pathlib import Path
+
+from repro.engine import Engine
+from repro.explore import (
+    Constraint,
+    ExploreQuery,
+    ExploreRecord,
+    baseline_spec,
+    candidate_objectives,
+    epsilon_constraint,
+    explore,
+    pareto_frontier,
+)
+
+BENCH_OUT = Path(__file__).resolve().parent.parent \
+    / "BENCH_explore.json"
+#: soft gate: the CI job warns (does not fail) when the explore route
+#: stops saving at least this fraction of the exhaustive specs
+MIN_SAVED_FRACTION = 0.2
+
+
+def acceptance_query() -> ExploreQuery:
+    return ExploreQuery(
+        codings=("mmx", "mom", "mom3d"),
+        memsystems=("multibank", "vector", "ideal"),
+        constraint=Constraint("slowdown", within=0.05),
+        minimize="area_tracks")
+
+
+def _vector(record: ExploreRecord) -> tuple[float, ...]:
+    return record.objectives.vector()
+
+
+def _frontier_payload(records) -> list[dict]:
+    rows = [{"config": r.candidate.label(),
+             "slowdown": round(r.objectives.slowdown, 6),
+             "l2_watts": round(r.objectives.l2_watts, 6),
+             "area_tracks": r.objectives.area_tracks}
+            for r in records]
+    return sorted(rows, key=lambda row: row["config"])
+
+
+def run_benchmark() -> dict:
+    query = acceptance_query()
+    benchmarks = query.workloads()
+
+    # explore route: cold engine, count every requested spec
+    report = explore(Engine(use_cache=False, jobs=2), query)
+
+    # exhaustive route: every candidate on every workload, post hoc
+    space = query.space()
+    specs = [cand.spec(bench) for cand in space for bench in benchmarks]
+    specs += [baseline_spec(bench) for bench in benchmarks]
+    results = Engine(use_cache=False, jobs=2).run_many(specs)
+    records = [ExploreRecord(cand,
+                             candidate_objectives(cand, benchmarks,
+                                                  results),
+                             tuple(benchmarks))
+               for cand in space]
+    exhaustive_frontier = pareto_frontier(records, key=_vector)
+    best, bound = epsilon_constraint(
+        records, value=lambda r: r.objectives.slowdown,
+        minimize=lambda r: r.objectives.area_tracks,
+        within=query.constraint.within)
+
+    stats = report.stats
+    parity = (
+        _frontier_payload(report.frontier)
+        == _frontier_payload(exhaustive_frontier)
+        and report.bound == bound
+        and report.best is not None and best is not None
+        and report.best.objectives == best.objectives)
+    saved_fraction = (stats.specs_saved / stats.exhaustive_specs
+                      if stats.exhaustive_specs else 0.0)
+    payload = {
+        "query": ("cheapest area_tracks with slowdown within 5% of "
+                  "best, fig9 space (3 codings x 3 memsystems), all "
+                  "5 workloads"),
+        "space_candidates": stats.space_size,
+        "specs_exhaustive": stats.exhaustive_specs,
+        "specs_explore": stats.specs_requested,
+        "specs_saved": stats.specs_saved,
+        "saved_fraction": round(saved_fraction, 3),
+        "candidates_pruned": stats.candidates_pruned,
+        "batches": stats.batches,
+        "parity": parity,
+        "frontier": _frontier_payload(report.frontier),
+        "best": report.best.candidate.label() if report.best else None,
+        "bound": report.bound,
+        "soft_gate_saved_fraction": MIN_SAVED_FRACTION,
+    }
+    BENCH_OUT.write_text(json.dumps(payload, indent=2) + "\n",
+                         encoding="utf-8")
+    return payload
+
+
+def test_explore_saves_simulations_with_answer_parity():
+    payload = run_benchmark()
+    print()
+    print(json.dumps(payload, indent=2))
+    # Hard: the pruned search must return the exhaustive answer.
+    assert payload["parity"], payload
+    # Hard: it must never request MORE than the exhaustive sweep.
+    assert payload["specs_explore"] <= payload["specs_exhaustive"]
+    # Soft gate: warn when the savings fall below the target.
+    if payload["saved_fraction"] < MIN_SAVED_FRACTION:
+        print(f"::warning title=bench-explore::explore saved only "
+              f"{payload['saved_fraction']:.0%} of the exhaustive "
+              f"specs (target {MIN_SAVED_FRACTION:.0%})")
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_benchmark(), indent=2))

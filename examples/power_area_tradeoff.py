@@ -2,11 +2,15 @@
 average speedup and ~30% L2 power saving.
 
 Reproduces the abstract's three numbers from the area model (Table 3),
-the timing runs (Fig. 9) and the power model (Fig. 11).
+the timing runs (Fig. 9) and the power model (Fig. 11).  All ten
+simulation points go through one batched ``Engine.run_many`` call, so
+the engine can group specs that share a trace into single grid-axis
+passes (and a warm cache answers the whole grid without simulating).
 
 Run:  python examples/power_area_tradeoff.py
 """
 
+from repro.engine import RunSpec
 from repro.harness import Runner
 from repro.models import config_area, normalized_areas, run_power
 from repro.workloads import benchmark_names
@@ -27,12 +31,21 @@ def main() -> None:
 
     # --- performance and power: what it buys ---------------------------
     runner = Runner()
+
+    def spec(bench: str, coding: str) -> RunSpec:
+        return RunSpec(benchmark=bench, coding=coding, memsys="vector",
+                       l2_latency=20, warm=True, seed=runner.seed)
+
+    grid = [spec(bench, coding) for bench in benchmark_names()
+            for coding in ("mom", "mom3d")]
+    results = runner.engine.run_many(grid)
+
     speedups, vc_l2, d3_l2 = [], [], []
     print(f"{'benchmark':14s} {'vc cycles':>10s} {'3d cycles':>10s} "
           f"{'speedup':>8s} {'vc L2 W':>8s} {'3d L2 W':>8s}")
     for bench in benchmark_names():
-        vc = runner.run(bench, "mom", "vector")
-        v3 = runner.run(bench, "mom3d", "vector")
+        vc = results[spec(bench, "mom")]
+        v3 = results[spec(bench, "mom3d")]
         p_vc = run_power(vc, "vector")
         p_3d = run_power(v3, "vector")
         speedups.append(vc.cycles / v3.cycles)

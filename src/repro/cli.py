@@ -16,6 +16,13 @@ Subcommands:
 * ``sweep`` — expand a declarative grid (benchmarks x codings x memory
   systems x latencies x ``--set`` overrides) and print one row per
   simulation point.
+* ``explore`` — design-space search: the Pareto frontier over slowdown
+  x L2 power x register-file area, or an epsilon-constraint query such
+  as ``--within 5`` ("cheapest area within 5% of the best slowdown").
+  Successive-halving pruning and ``--budget`` proposals decide which
+  grid points are actually simulated.  Runs on the local engine, or
+  against a ``repro serve`` instance via ``--url``
+  (``POST /v1/explore``).  See ``docs/explore.md``.
 * ``report -o results.md`` — regenerate the full measured-results
   document.
 * ``trace <name> <coding> -o trace.bin`` / ``replay trace.bin`` — save
@@ -125,6 +132,10 @@ def _cmd_list(_args) -> int:
     for name in benchmark_names():
         print(f"  {name}")
     print(f"codings: {', '.join(CODINGS)}")
+    from repro.explore import OBJECTIVE_NAMES
+
+    print("explore objectives (repro explore): "
+          f"{', '.join(OBJECTIVE_NAMES)}")
     suites = bench_suites()
     if suites:
         print("perf suites (repro bench <suite>):")
@@ -315,6 +326,89 @@ def _cmd_sweep(args) -> int:
     print(_results_table(
         results, f"sweep over {len(results)} configurations").render())
     _print_engine_summary(runner)
+    return 0
+
+
+def _explore_table(frontier, best, minimize):
+    """The frontier table; ``*`` marks the constrained optimum."""
+    from repro.harness.tables import Table
+
+    table = Table(["config", "slowdown", "L2 watts", "area tracks"],
+                  title=f"Pareto frontier ({len(frontier)} "
+                        f"non-dominated, * = best {minimize})")
+    for record in frontier:
+        label = record.candidate.label()
+        if best is not None and record.candidate == best.candidate:
+            label = "* " + label
+        objectives = record.objectives
+        table.add_row(label, objectives.slowdown, objectives.l2_watts,
+                      objectives.area_tracks)
+    return table
+
+
+def _explore_query_from_args(args):
+    from repro.engine import axes_product
+    from repro.explore import Constraint, ExploreQuery
+
+    constraint = None
+    if args.within is not None:
+        constraint = Constraint(args.constraint,
+                                within=args.within / 100.0)
+    elif args.limit is not None:
+        constraint = Constraint(args.constraint, limit=args.limit)
+    overrides = (axes_product(**_merge_set_axes(args.set))
+                 if args.set else [{}])
+    return ExploreQuery(
+        codings=tuple(args.codings), memsystems=tuple(args.memsys),
+        l2_latencies=tuple(args.l2_latency),
+        overrides=tuple(overrides),
+        benchmarks=tuple(args.benchmarks), warm=not args.cold,
+        seed=args.seed, constraint=constraint,
+        minimize=args.minimize, budget=args.budget,
+        prune=not args.no_prune, rung_fraction=args.rung_fraction,
+        margin=args.margin, proposal_seed=args.proposal_seed)
+
+
+def _cmd_explore(args) -> int:
+    if args.within is not None and args.limit is not None:
+        print("error: --within and --limit are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    query = _explore_query_from_args(args)
+    runner = None
+    if args.url is not None:
+        from repro.service import ServiceClient, ServiceError
+
+        try:
+            client = ServiceClient(args.url)
+            result = client.run_explore(query, timeout=args.timeout)
+        except (ServiceError, TimeoutError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        frontier, best, bound = (result.frontier or (), result.best,
+                                 result.bound)
+        stats_line = " ".join(f"{k}={v}" for k, v in
+                              (result.stats or {}).items())
+    else:
+        from repro.explore import explore
+
+        runner = _make_runner(args)
+        report = explore(runner.engine, query)
+        frontier, best, bound = (report.frontier, report.best,
+                                 report.bound)
+        stats_line = report.stats.summary()
+    print(_explore_table(frontier, best, query.minimize).render())
+    if query.constraint is not None:
+        if best is None:
+            print(f"no candidate satisfies "
+                  f"{query.constraint.objective} <= bound")
+        else:
+            print(f"best {query.minimize} with "
+                  f"{query.constraint.objective} <= {bound:.4f}: "
+                  f"{best.candidate.label()}")
+    print(f"[explore] {stats_line}", file=sys.stderr)
+    if runner is not None:
+        _print_engine_summary(runner)
     return 0
 
 
@@ -618,6 +712,58 @@ def main(argv: list[str] | None = None) -> int:
         help="simulate a declarative grid of configurations")
     _add_grid_axes(p_sweep)
 
+    from repro.explore import OBJECTIVE_NAMES
+
+    p_explore = sub.add_parser(
+        "explore", parents=[common],
+        help="search a config space: Pareto frontier over slowdown x "
+             "L2 power x area, with optional epsilon-constraint query")
+    _add_grid_axes(p_explore)
+    p_explore.set_defaults(codings=list(CODINGS))
+    p_explore.add_argument("--within", type=_positive_float,
+                           metavar="PCT",
+                           help="epsilon constraint: admit candidates "
+                                "whose --constraint objective is within "
+                                "PCT%% of the best observed value")
+    p_explore.add_argument("--limit", type=_positive_float,
+                           metavar="VALUE",
+                           help="absolute bound on the --constraint "
+                                "objective (alternative to --within)")
+    p_explore.add_argument("--constraint", default="slowdown",
+                           choices=OBJECTIVE_NAMES, metavar="OBJECTIVE",
+                           help="objective the --within/--limit bound "
+                                "applies to (default: slowdown)")
+    p_explore.add_argument("--minimize", default="area_tracks",
+                           choices=OBJECTIVE_NAMES, metavar="OBJECTIVE",
+                           help="objective minimized among admitted "
+                                "candidates (default: area_tracks)")
+    p_explore.add_argument("--budget", type=_positive_int, default=None,
+                           metavar="N",
+                           help="evaluate at most N candidates via "
+                                "seeded random/neighborhood proposals "
+                                "(default: whole space)")
+    p_explore.add_argument("--no-prune", action="store_true",
+                           help="disable successive-halving pruning "
+                                "(every candidate gets all benchmarks)")
+    p_explore.add_argument("--margin", type=float, default=0.05,
+                           metavar="FRAC",
+                           help="relative dominance margin required "
+                                "before pruning on partial-workload "
+                                "scores (default 0.05)")
+    p_explore.add_argument("--rung-fraction", type=float, default=0.5,
+                           metavar="FRAC",
+                           help="fraction of benchmarks in the first "
+                                "halving rung (default 0.5)")
+    p_explore.add_argument("--proposal-seed", type=int, default=0,
+                           metavar="SEED",
+                           help="seed for the budgeted proposal order")
+    p_explore.add_argument("--url", default=None,
+                           help="run on a 'repro serve' instance "
+                                "(POST /v1/explore) instead of locally")
+    p_explore.add_argument("--timeout", type=float, default=300.0,
+                           metavar="SECONDS",
+                           help="--url only: give up after this long")
+
     p_report = sub.add_parser("report", parents=[common],
                               help="write the measured-results markdown")
     p_report.add_argument("-o", "--output", default="results.md")
@@ -707,7 +853,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
                 "tables": _cmd_all, "bench": _cmd_bench,
-                "sweep": _cmd_sweep, "report": _cmd_report,
+                "sweep": _cmd_sweep, "explore": _cmd_explore,
+                "report": _cmd_report,
                 "trace": _cmd_trace, "replay": _cmd_replay,
                 "serve": _cmd_serve, "submit": _cmd_submit,
                 "worker": _cmd_worker, "cache": _cmd_cache}

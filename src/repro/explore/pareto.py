@@ -1,0 +1,153 @@
+"""Pareto dominance, frontier maintenance and constraint filtering.
+
+Pure functions over score vectors (sequences of minimized floats) —
+no engine, no I/O, no clock — so every guarantee the exploration
+driver leans on is property-testable in isolation
+(``tests/test_explore_properties.py``):
+
+* :func:`dominates` is a strict partial order (irreflexive,
+  antisymmetric, transitive);
+* :func:`pareto_frontier` is invariant, as a vector set, under
+  shuffling and duplication of its input;
+* :func:`prunes` (margin-guarded dominance, the successive-halving
+  kill test) reduces to plain weak dominance at ``margin=0`` and only
+  ever prunes a *subset* of what weak dominance would — under
+  order-consistent partial scores it never removes a config that full
+  evaluation would place on the frontier;
+* :func:`epsilon_constraint` answers always satisfy the constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _vector(item, key) -> tuple[float, ...]:
+    return tuple(key(item)) if key is not None else tuple(item)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is at least as good everywhere and not equal.
+
+    Minimization throughout: smaller is better on every coordinate.
+    """
+    a, b = tuple(a), tuple(b)
+    if len(a) != len(b):
+        raise ValueError(f"vector length mismatch: {len(a)} vs {len(b)}")
+    return a != b and all(x <= y for x, y in zip(a, b))
+
+
+def pareto_frontier(items: Sequence[T], *,
+                    key: Callable[[T], Sequence[float]] | None = None
+                    ) -> list[T]:
+    """The non-dominated subset of ``items``, in input order.
+
+    Ties (equal vectors) all stay — neither dominates the other — so
+    the frontier is a stable filter: duplicates of a frontier member
+    remain members, and reordering the input only reorders the output.
+    """
+    vectors = [_vector(item, key) for item in items]
+    return [item for item, vec in zip(items, vectors)
+            if not any(dominates(other, vec) for other in vectors)]
+
+
+def prunes(a: Sequence[float], b: Sequence[float], *,
+           margin: float = 0.0,
+           estimated: Sequence[bool] | None = None) -> bool:
+    """Margin-guarded dominance: may ``a`` kill ``b`` at a halving rung?
+
+    Plain weak dominance is unsafe on partial-workload scores: a
+    hair's-breadth win on the evaluated prefix can invert on the full
+    workload set (the real fig9 space exhibits exactly this — see
+    ``docs/explore.md``).  So on *estimated* coordinates ``a`` must
+    either tie exactly or win by at least ``margin`` relative to
+    ``b``'s value; exact coordinates (the area model) cannot drift and
+    need only the plain ``<=``.  At ``margin=0`` this is weak
+    dominance; any positive margin prunes strictly less.
+    """
+    a, b = tuple(a), tuple(b)
+    if len(a) != len(b):
+        raise ValueError(f"vector length mismatch: {len(a)} vs {len(b)}")
+    if margin < 0:
+        raise ValueError(f"margin must be >= 0, got {margin}")
+    if estimated is None:
+        estimated = (True,) * len(a)
+    if a == b:
+        return False
+    for x, y, est in zip(a, b, estimated):
+        if x > y:
+            return False
+        if est and x < y and (y - x) < margin * abs(y):
+            return False
+    return True
+
+
+def halving_survivors(items: Sequence[T], *,
+                      key: Callable[[T], Sequence[float]] | None = None,
+                      margin: float = 0.0,
+                      estimated: Sequence[bool] | None = None,
+                      extra: Iterable[Sequence[float]] = ()
+                      ) -> tuple[list[T], list[T]]:
+    """Split a rung into ``(survivors, pruned)`` by :func:`prunes`.
+
+    ``extra`` supplies additional dominator vectors that are not
+    themselves up for pruning — the partial scores of candidates
+    already fully evaluated in earlier waves, so a later random wave
+    cannot resurrect a configuration the frontier already beats.
+    """
+    vectors = [_vector(item, key) for item in items]
+    dominators = vectors + [tuple(v) for v in extra]
+    survivors: list[T] = []
+    pruned: list[T] = []
+    for item, vec in zip(items, vectors):
+        if any(prunes(other, vec, margin=margin, estimated=estimated)
+               for other in dominators):
+            pruned.append(item)
+        else:
+            survivors.append(item)
+    return survivors, pruned
+
+
+def epsilon_constraint(items: Sequence[T], *,
+                       value: Callable[[T], float],
+                       minimize: Callable[[T], float],
+                       within: float | None = None,
+                       limit: float | None = None
+                       ) -> tuple[T | None, float | None]:
+    """Minimize one objective subject to a bound on another.
+
+    The query shape "cheapest ``minimize`` within ``within`` of the
+    best ``value``" (relative bound: ``min(value) * (1 + within)``) or
+    "... with ``value`` at most ``limit``" (absolute bound).  Returns
+    ``(best, bound)`` — ``best`` is ``None`` when nothing is feasible
+    (or ``items`` is empty, in which case ``bound`` is ``None`` too
+    for the relative form).  Ties on ``minimize`` break toward the
+    smaller constrained value, then input order.
+
+    Dominance-based pruning cannot change this answer's objective
+    values: any pruned candidate is (weakly) beaten on *every*
+    coordinate by a survivor, so the survivor is feasible whenever the
+    pruned one was and scores no worse.
+    """
+    if (within is None) == (limit is None):
+        raise ValueError(
+            "epsilon_constraint takes exactly one of within/limit")
+    if within is not None:
+        if within < 0:
+            raise ValueError(f"within must be >= 0, got {within}")
+        values = [value(item) for item in items]
+        if not values:
+            return None, None
+        bound = min(values) * (1 + within)
+    else:
+        bound = float(limit)
+        values = [value(item) for item in items]
+    feasible = [(item, val) for item, val in zip(items, values)
+                if val <= bound]
+    if not feasible:
+        return None, bound
+    best, _ = min(feasible,
+                  key=lambda pair: (minimize(pair[0]), pair[1]))
+    return best, bound

@@ -9,8 +9,9 @@ The execution API, redesigned around *jobs* instead of direct calls:
   shared, lock-protected :class:`~repro.engine.Engine` (in-flight
   dedup, windowed ``run_many`` coalescing, executor offload);
 * :mod:`repro.service.server` — stdlib-asyncio HTTP server
-  (``POST /v1/jobs``, ``GET /v1/jobs/<id>``, ``/v1/health``,
-  ``/v1/stats``, ``/v1/metrics``);
+  (``POST /v1/jobs``, ``GET /v1/jobs/<id>``, ``POST /v1/explore``,
+  ``GET /v1/explore/<id>``, ``/v1/health``, ``/v1/stats``,
+  ``/v1/metrics``);
 * :mod:`repro.service.metrics` — dependency-free metric registry
   (counters / gauges / fixed-bucket histograms) rendered as a
   Prometheus text exposition on ``GET /v1/metrics``;
@@ -37,6 +38,7 @@ from repro.service.metrics import (
 )
 from repro.service.scheduler import (
     BatchScheduler,
+    ExploreJob,
     Job,
     JobStore,
     SchedulerStats,
@@ -44,20 +46,25 @@ from repro.service.scheduler import (
 from repro.service.schema import (
     SCHEMA_VERSION,
     ErrorReply,
+    ExploreResult,
     JobRequest,
     JobResult,
     SchemaError,
     WorkCompletion,
     WorkLeaseGrant,
+    explore_query_from_wire,
+    explore_query_to_wire,
 )
 from repro.service.server import ServiceServer, background_server, serve
 from repro.service.worker import ServiceWorker, WorkerStats, work
 
 __all__ = [
     "SCHEMA_VERSION", "BatchScheduler", "Counter", "ErrorReply",
-    "Gauge", "Histogram", "Job", "JobRequest", "JobResult", "JobStore",
-    "Metrics", "SchedulerStats", "SchemaError", "ServiceClient",
-    "ServiceError", "ServiceServer", "ServiceWorker", "WorkCompletion",
-    "WorkLeaseGrant", "WorkerStats", "background_server",
-    "instrument_engine", "instrument_work_queue", "serve", "work",
+    "ExploreJob", "ExploreResult", "Gauge", "Histogram", "Job",
+    "JobRequest", "JobResult", "JobStore", "Metrics", "SchedulerStats",
+    "SchemaError", "ServiceClient", "ServiceError", "ServiceServer",
+    "ServiceWorker", "WorkCompletion", "WorkLeaseGrant", "WorkerStats",
+    "background_server", "explore_query_from_wire",
+    "explore_query_to_wire", "instrument_engine",
+    "instrument_work_queue", "serve", "work",
 ]

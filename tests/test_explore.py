@@ -1,0 +1,332 @@
+"""Explore subsystem: round-trips, model pinning, end-to-end parity.
+
+Four layers, cheapest first:
+
+* lossless ``to_dict``/``from_dict``/wire round-trips for every
+  explore record type (the schema regression surface);
+* objective pinning — the ``(slowdown, l2_watts, area_tracks)`` vector
+  extracted from real runs equals the fig9 / fig11 / table3 models
+  called directly, and matches ``Runner.slowdown``'s convention;
+* the exploration driver against the real engine: the frontier and the
+  epsilon-constraint answer equal an exhaustive post-hoc sweep (as
+  vector sets), reruns are deterministic, and a warm re-query performs
+  zero new simulations;
+* the HTTP surface: ``POST /v1/explore`` through ``ServiceClient``,
+  validation errors, wrong-endpoint guards, ``/v1/stats`` and
+  ``/v1/metrics`` observability.
+"""
+
+import pytest
+
+from repro.engine import Engine, RunSpec
+from repro.errors import ConfigError
+from repro.explore import (
+    Candidate,
+    Constraint,
+    ExploreQuery,
+    ExploreRecord,
+    Objectives,
+    baseline_spec,
+    candidate_objectives,
+    epsilon_constraint,
+    explore,
+    pareto_frontier,
+)
+from repro.harness import Runner
+from repro.models import config_area, run_power
+from repro.service import (
+    SCHEMA_VERSION,
+    ExploreResult,
+    SchemaError,
+    ServiceClient,
+    ServiceError,
+    background_server,
+    explore_query_from_wire,
+    explore_query_to_wire,
+)
+from repro.timing.stats import RunStats
+
+BENCH = "gsm_encode"  # the smallest trace
+#: two-workload subspace of the fig9 product: big enough to engage
+#: halving (rung = 1 benchmark), small enough to simulate in a test
+PARITY_BENCHMARKS = ("gsm_encode", "mpeg2_decode")
+
+
+def parity_query() -> ExploreQuery:
+    return ExploreQuery(
+        codings=("mmx", "mom", "mom3d"),
+        memsystems=("multibank", "vector", "ideal"),
+        benchmarks=PARITY_BENCHMARKS,
+        constraint=Constraint("slowdown", within=0.05),
+        minimize="area_tracks")
+
+
+@pytest.fixture(scope="module")
+def engine(tmp_path_factory):
+    return Engine(jobs=2,
+                  cache_dir=tmp_path_factory.mktemp("explore-cache"))
+
+
+# -- round-trips -------------------------------------------------------------
+
+
+def test_candidate_roundtrip_and_normalization():
+    cand = Candidate(coding="mom3d", memsys="vector", l2_latency=40,
+                     overrides=(("l2_line_words", 16),))
+    assert Candidate.from_dict(cand.to_dict()) == cand
+    # ideal memory canonicalizes the latency: one candidate, one spec
+    ideal_a = Candidate(coding="mom", memsys="ideal", l2_latency=20)
+    ideal_b = Candidate(coding="mom", memsys="ideal", l2_latency=99)
+    assert ideal_a == ideal_b and ideal_a.l2_latency == 0
+    assert ideal_a.spec(BENCH) == ideal_b.spec(BENCH)
+    with pytest.raises(ConfigError):
+        Candidate(coding="sse2")
+    with pytest.raises(ConfigError):
+        Candidate(coding="mom", memsys="dram")
+
+
+def test_record_and_constraint_roundtrip():
+    record = ExploreRecord(
+        candidate=Candidate(coding="mom"),
+        objectives=Objectives(slowdown=1.25, l2_watts=3.5,
+                              area_tracks=2939392.0),
+        benchmarks=PARITY_BENCHMARKS)
+    assert ExploreRecord.from_dict(record.to_dict()) == record
+    for constraint in (Constraint("slowdown", within=0.05),
+                       Constraint("area_tracks", limit=3e6)):
+        assert Constraint.from_dict(constraint.to_dict()) == constraint
+    with pytest.raises(ConfigError):
+        Constraint("slowdown")  # neither bound
+    with pytest.raises(ConfigError):
+        Constraint("slowdown", within=0.1, limit=2.0)
+
+
+def test_query_wire_roundtrip():
+    query = ExploreQuery(
+        codings=("mom", "mom3d"), memsystems=("vector", "ideal"),
+        l2_latencies=(10, 20), overrides=({}, {"l2_line_words": 16}),
+        benchmarks=(BENCH,), warm=False, seed=3,
+        constraint=Constraint("l2_watts", limit=5.0),
+        minimize="slowdown", budget=7, prune=False,
+        rung_fraction=0.25, margin=0.1, proposal_seed=11)
+    wire = explore_query_to_wire(query)
+    assert wire["schema_version"] == SCHEMA_VERSION
+    assert explore_query_from_wire(wire) == query
+    # defaults survive omission too
+    minimal = ExploreQuery(codings=("mom",))
+    assert explore_query_from_wire(
+        explore_query_to_wire(minimal)) == minimal
+
+
+def test_query_wire_validation():
+    wire = explore_query_to_wire(ExploreQuery(codings=("mom",)))
+    wire["explore"]["codings"] = ["sse2"]
+    with pytest.raises(SchemaError):
+        explore_query_from_wire(wire)
+    stray = explore_query_to_wire(ExploreQuery(codings=("mom",)))
+    stray["explore"]["surprise"] = 1
+    with pytest.raises(SchemaError):
+        explore_query_from_wire(stray)
+    # grids past the service admission cap are rejected at the schema
+    huge = explore_query_to_wire(ExploreQuery(
+        codings=("mom",), l2_latencies=tuple(range(1, 2000))))
+    with pytest.raises(SchemaError):
+        explore_query_from_wire(huge)
+
+
+def test_explore_result_wire_roundtrip():
+    record = ExploreRecord(
+        candidate=Candidate(coding="mom3d"),
+        objectives=Objectives(slowdown=0.9, l2_watts=2.0,
+                              area_tracks=4646464.0),
+        benchmarks=(BENCH,))
+    result = ExploreResult(
+        job_id="abc123", status="done", frontier=(record,),
+        best=record, bound=1.05,
+        stats={"specs_requested": 3, "exhaustive_specs": 4})
+    assert ExploreResult.from_wire(result.to_wire()) == result
+    running = ExploreResult(job_id="abc123", status="running")
+    assert ExploreResult.from_wire(running.to_wire()) == running
+
+
+# -- objective pinning against the paper models ------------------------------
+
+
+def test_objectives_pin_to_fig9_fig11_table3_models(engine):
+    """One grid point's vector == the models called directly."""
+    for coding, memsys in (("mom3d", "vector"), ("mom", "multibank")):
+        cand = Candidate(coding=coding, memsys=memsys)
+        results = engine.run_many([cand.spec(BENCH),
+                                   baseline_spec(BENCH)])
+        scored = candidate_objectives(cand, (BENCH,), results)
+        stats = results[cand.spec(BENCH)]
+        base = results[baseline_spec(BENCH)]
+        # fig9: cycles over the mom/ideal denominator
+        assert scored.slowdown == stats.cycles / base.cycles
+        # fig11: the power model, with the multibank energy table
+        # exactly when the memory system is the multi-bank design
+        kind = "multibank" if memsys == "multibank" else "vector"
+        assert scored.l2_watts == run_power(stats, kind).l2_watts
+        # table3: exact area, workload-independent
+        assert scored.area_tracks == float(
+            config_area(coding)["total"])
+
+
+def test_slowdown_matches_runner_convention(engine):
+    runner = Runner(jobs=2, cache_dir=engine.cache.root)
+    cand = Candidate(coding="mom3d", memsys="vector")
+    results = engine.run_many([cand.spec(BENCH), baseline_spec(BENCH)])
+    scored = candidate_objectives(cand, (BENCH,), results)
+    assert scored.slowdown == pytest.approx(
+        runner.slowdown(BENCH, "mom3d", "vector"))
+
+
+# -- the driver against the real engine --------------------------------------
+
+
+def test_explore_matches_exhaustive_post_hoc(engine):
+    """Acceptance shape: explore == exhaustive sweep, fewer specs."""
+    query = parity_query()
+    report = explore(engine, query)
+
+    space = query.space()
+    specs = [cand.spec(bench) for cand in space
+             for bench in PARITY_BENCHMARKS]
+    specs += [baseline_spec(bench) for bench in PARITY_BENCHMARKS]
+    results = engine.run_many(specs)
+    records = [ExploreRecord(cand,
+                             candidate_objectives(
+                                 cand, PARITY_BENCHMARKS, results),
+                             PARITY_BENCHMARKS)
+               for cand in space]
+
+    vec = lambda r: r.objectives.vector()  # noqa: E731
+    assert {vec(r) for r in report.frontier} \
+        == {vec(r) for r in pareto_frontier(records, key=vec)}
+
+    best, bound = epsilon_constraint(
+        records, value=lambda r: r.objectives.slowdown,
+        minimize=lambda r: r.objectives.area_tracks, within=0.05)
+    assert report.bound == bound
+    assert report.best is not None
+    assert report.best.objectives.area_tracks \
+        == best.objectives.area_tracks
+    assert report.best.objectives.slowdown <= bound
+
+    stats = report.stats
+    assert stats.space_size == len(space)
+    assert stats.candidates_evaluated + stats.candidates_pruned \
+        == stats.candidates_proposed
+    assert stats.specs_requested <= stats.exhaustive_specs
+    assert stats.exhaustive_specs == len(set(specs))
+
+
+def test_warm_requery_is_deterministic_and_free(engine):
+    """Same query again: same answer, zero new simulations."""
+    query = parity_query()
+    first = explore(engine, query)  # cache-warm from the parity test
+    before = engine.stats.simulations
+    second = explore(engine, query)
+    assert engine.stats.simulations == before
+    assert second.to_dict() == first.to_dict()
+
+
+def test_budgeted_proposals_are_seeded_and_bounded():
+    """Budget respected; same proposal_seed -> same evaluations."""
+    coding_rank = {"mmx": 1, "mom": 2, "mom3d": 3}
+    memsys_rank = {"multibank": 1, "vector": 2, "ideal": 3}
+
+    def fake_stats(spec: RunSpec) -> RunStats:
+        cycles = (1000 + 37 * coding_rank[spec.coding]
+                  * memsys_rank[spec.memsys] + 11 * spec.l2_latency)
+        stats = RunStats(cycles=cycles)
+        stats.vector_port.cache_accesses = cycles // 3
+        return stats
+
+    def evaluate(specs):
+        return {spec: fake_stats(spec) for spec in specs}
+
+    def run(proposal_seed):
+        query = ExploreQuery(
+            codings=("mmx", "mom", "mom3d"),
+            memsystems=("multibank", "vector", "ideal"),
+            l2_latencies=(10, 20, 30), benchmarks=PARITY_BENCHMARKS,
+            budget=8, proposal_seed=proposal_seed)
+        from repro.explore import Exploration
+
+        return Exploration(query).run(evaluate)
+
+    a, b = run(0), run(0)
+    assert [r.candidate for r in a.evaluated] \
+        == [r.candidate for r in b.evaluated]
+    assert a.to_dict() == b.to_dict()
+    assert a.stats.candidates_proposed <= 8
+    # ideal collapses the latency axis: 3 codings x (2 x 3 + 1)
+    assert a.stats.space_size == 21
+    assert a.stats.specs_requested < a.stats.exhaustive_specs
+
+
+# -- the HTTP surface --------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service(engine):
+    with background_server(engine, window=0.01) as server:
+        yield server, ServiceClient(server.url)
+
+
+def http_query() -> ExploreQuery:
+    return ExploreQuery(codings=("mmx", "mom", "mom3d"),
+                        memsystems=("vector", "ideal"),
+                        benchmarks=(BENCH,),
+                        constraint=Constraint("slowdown", within=0.05))
+
+
+def test_http_explore_end_to_end(service):
+    _server, client = service
+    result = client.run_explore(http_query(), timeout=120)
+    assert result.status == "done"
+    assert result.frontier and result.best is not None
+    assert all(isinstance(r, ExploreRecord) for r in result.frontier)
+    assert result.stats["specs_requested"] >= 1
+
+    # warm re-query: the shared engine performs zero new simulations
+    before = client.stats()
+    again = client.run_explore(http_query(), timeout=120)
+    after = client.stats()
+    assert after["engine"]["simulations"] \
+        == before["engine"]["simulations"]
+    assert again.frontier == result.frontier
+    assert again.bound == result.bound
+
+    assert after["explore"]["jobs"] >= 2
+    assert after["explore"]["failed"] == 0
+    assert after["explore"]["last_frontier_size"] \
+        == len(result.frontier)
+    assert "repro_explore_jobs_total" in client.metrics()
+
+
+def test_http_explore_validation_and_guards(service):
+    _server, client = service
+    wire = explore_query_to_wire(http_query())
+    wire["explore"]["codings"] = ["sse2"]
+    with pytest.raises(ServiceError) as err:
+        client._request("POST", "/v1/explore", wire)
+    assert err.value.status == 400
+
+    with pytest.raises(ServiceError) as err:
+        client.poll_explore("no-such-exploration")
+    assert err.value.status == 404
+    assert err.value.reply.code == "unknown-job"
+
+    # a plain job is not visible through the explore endpoint...
+    job = client.submit([baseline_spec(BENCH)])
+    with pytest.raises(ServiceError) as err:
+        client.poll_explore(job.job_id)
+    assert err.value.reply.code == "wrong-endpoint"
+    # ...and an exploration is not visible through the jobs endpoint
+    exploration = client.explore(http_query())
+    client.wait_explore(exploration.job_id, timeout=120)
+    with pytest.raises(ServiceError) as err:
+        client.poll(exploration.job_id)
+    assert err.value.reply.code == "wrong-endpoint"

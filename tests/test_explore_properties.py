@@ -1,0 +1,220 @@
+"""Property-based tests for the explore subsystem's pure core.
+
+Everything the exploration driver leans on is a pure function over
+score vectors (``repro.explore.pareto``), so the guarantees are stated
+directly:
+
+* :func:`dominates` is a strict partial order;
+* :func:`pareto_frontier` is invariant, as a vector set, under input
+  shuffling and duplication, and never returns a dominated vector;
+* :func:`prunes` equals weak dominance at ``margin=0`` and prunes
+  monotonically less as the margin grows;
+* on *order-consistent* tables — full scores are a coordinate-wise
+  strictly increasing transform of the rung scores — successive
+  halving never removes a vector the full-evaluation frontier needs;
+* :func:`epsilon_constraint` answers satisfy the constraint, are
+  optimal among the feasible, and are unchanged (as objective values)
+  by dominance pruning of the input.
+
+Run under the fixed ``ci`` profile (registered in ``conftest.py``) in
+CI: ``pytest --hypothesis-profile=ci``.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.explore import (
+    dominates,
+    epsilon_constraint,
+    halving_survivors,
+    pareto_frontier,
+    prunes,
+)
+
+#: Small-integer coordinates make ties and dominance chains common —
+#: exactly the cases the frontier and pruning logic must handle.
+vectors3 = st.tuples(st.integers(0, 6), st.integers(0, 6),
+                     st.integers(0, 6))
+vector_lists = st.lists(vectors3, min_size=0, max_size=12)
+
+
+# -- dominance is a strict partial order -------------------------------------
+
+
+@given(vectors3)
+def test_dominates_irreflexive(a):
+    assert not dominates(a, a)
+
+
+@given(vectors3, vectors3)
+def test_dominates_antisymmetric(a, b):
+    assert not (dominates(a, b) and dominates(b, a))
+
+
+@given(vectors3, vectors3, vectors3)
+def test_dominates_transitive(a, b, c):
+    if dominates(a, b) and dominates(b, c):
+        assert dominates(a, c)
+
+
+def test_dominates_rejects_length_mismatch():
+    with pytest.raises(ValueError):
+        dominates((1.0, 2.0), (1.0, 2.0, 3.0))
+
+
+# -- frontier invariance -----------------------------------------------------
+
+
+@given(vector_lists, st.randoms(use_true_random=False))
+def test_frontier_invariant_under_shuffle(items, rng):
+    reference = set(pareto_frontier(items))
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert set(pareto_frontier(shuffled)) == reference
+
+
+@given(vector_lists, st.randoms(use_true_random=False))
+def test_frontier_invariant_under_duplication(items, rng):
+    reference = set(pareto_frontier(items))
+    doubled = items + [rng.choice(items)] * 2 if items else []
+    assert set(pareto_frontier(doubled)) == reference
+
+
+@given(vector_lists)
+def test_frontier_members_are_non_dominated(items):
+    frontier = pareto_frontier(items)
+    for member in frontier:
+        assert not any(dominates(other, member) for other in items)
+    # and everything excluded is dominated by something
+    for excluded in set(items) - set(frontier):
+        assert any(dominates(other, excluded) for other in items)
+
+
+# -- margin-guarded pruning --------------------------------------------------
+
+
+@given(vectors3, vectors3)
+def test_prunes_at_zero_margin_is_weak_dominance(a, b):
+    assert prunes(a, b, margin=0.0) == dominates(a, b)
+
+
+@given(vectors3, vectors3,
+       st.floats(0.0, 0.5, allow_nan=False),
+       st.floats(0.0, 0.5, allow_nan=False))
+def test_prunes_monotone_in_margin(a, b, m1, m2):
+    low, high = sorted((m1, m2))
+    if prunes(a, b, margin=high):
+        assert prunes(a, b, margin=low)
+
+
+@given(vectors3, vectors3, st.floats(0.0, 0.5, allow_nan=False))
+def test_prunes_exact_coordinates_ignore_margin(a, b, margin):
+    """With no estimated coordinates the margin never blocks a kill."""
+    exact = (False,) * len(a)
+    assert prunes(a, b, margin=margin, estimated=exact) \
+        == dominates(a, b)
+
+
+#: (rung_vector, full_vector) pairs where full is a coordinate-wise
+#: strictly increasing transform of rung — the order-consistent model
+#: under which halving is exact.
+@st.composite
+def monotone_tables(draw):
+    scale = draw(st.tuples(*[st.integers(1, 3)] * 3))
+    shift = draw(st.tuples(*[st.integers(0, 5)] * 3))
+    rungs = draw(st.lists(vectors3, min_size=1, max_size=10))
+    fulls = [tuple(s * x + t for x, s, t in zip(vec, scale, shift))
+             for vec in rungs]
+    return list(zip(rungs, fulls))
+
+
+@given(monotone_tables(), st.floats(0.0, 0.3, allow_nan=False))
+def test_halving_never_costs_a_frontier_vector(table, margin):
+    """Frontier of full scores is reachable from the rung survivors.
+
+    Pruning on the rung scores, then fully evaluating only the
+    survivors, must yield the same frontier *as a vector set* as fully
+    evaluating everything.  (Individual tied duplicates may be pruned
+    — the frontier keeps a surviving copy.)
+    """
+    survivors, pruned = halving_survivors(
+        table, key=lambda pair: pair[0], margin=margin)
+    assert sorted(survivors + pruned) == sorted(table)
+    full_of = lambda pair: pair[1]  # noqa: E731
+    want = {full_of(p) for p in pareto_frontier(table, key=full_of)}
+    got = {full_of(p) for p in pareto_frontier(survivors, key=full_of)}
+    assert got == want
+
+
+@given(st.lists(vectors3, min_size=1, max_size=8),
+       st.lists(vectors3, min_size=0, max_size=4))
+def test_halving_extra_dominators_only_shrink_survivors(items, extra):
+    base, _ = halving_survivors(items)
+    with_extra, _ = halving_survivors(items, extra=extra)
+    assert set(with_extra) <= set(base)
+
+
+# -- epsilon constraint ------------------------------------------------------
+
+
+@given(vector_lists, st.floats(0.0, 1.0, allow_nan=False))
+def test_epsilon_constraint_relative_answers_are_feasible(items, within):
+    value = lambda v: v[0]     # noqa: E731
+    minimize = lambda v: v[2]  # noqa: E731
+    best, bound = epsilon_constraint(items, value=value,
+                                     minimize=minimize, within=within)
+    if not items:
+        assert best is None and bound is None
+        return
+    assert bound == min(value(v) for v in items) * (1 + within)
+    assert best is not None  # the argmin of value is always feasible
+    assert value(best) <= bound
+    feasible = [v for v in items if value(v) <= bound]
+    assert minimize(best) == min(minimize(v) for v in feasible)
+
+
+@given(vector_lists, st.integers(0, 6))
+def test_epsilon_constraint_absolute_answers_are_feasible(items, limit):
+    value = lambda v: v[0]     # noqa: E731
+    minimize = lambda v: v[2]  # noqa: E731
+    best, bound = epsilon_constraint(items, value=value,
+                                     minimize=minimize, limit=limit)
+    assert bound == limit
+    feasible = [v for v in items if value(v) <= limit]
+    if not feasible:
+        assert best is None
+    else:
+        assert value(best) <= limit
+        assert minimize(best) == min(minimize(v) for v in feasible)
+
+
+@given(st.lists(vectors3, min_size=1, max_size=12),
+       st.floats(0.0, 1.0, allow_nan=False))
+def test_epsilon_constraint_survives_dominance_pruning(items, within):
+    """Pruning dominated vectors never changes the answer's scores.
+
+    The exploration driver evaluates only halving survivors, so the
+    constrained optimum must be recoverable from a non-dominated
+    subset — same bound, same (minimize, value) optimum.
+    """
+    value = lambda v: v[0]     # noqa: E731
+    minimize = lambda v: v[2]  # noqa: E731
+    best_all, bound_all = epsilon_constraint(
+        items, value=value, minimize=minimize, within=within)
+    frontier = pareto_frontier(items)
+    best_front, bound_front = epsilon_constraint(
+        frontier, value=value, minimize=minimize, within=within)
+    assert bound_front == bound_all
+    assert minimize(best_front) == minimize(best_all)
+    assert value(best_front) <= bound_all
+
+
+def test_epsilon_constraint_requires_exactly_one_bound():
+    with pytest.raises(ValueError):
+        epsilon_constraint([(1.0,)], value=lambda v: v[0],
+                           minimize=lambda v: v[0])
+    with pytest.raises(ValueError):
+        epsilon_constraint([(1.0,)], value=lambda v: v[0],
+                           minimize=lambda v: v[0],
+                           within=0.1, limit=2.0)
