@@ -1,0 +1,225 @@
+"""Result-store benchmark: segmented layout vs JSON-per-digest.
+
+Populates two :class:`~repro.engine.cache.ResultCache` roots — one per
+layout — with identical synthetic result grids and times the paths the
+engine actually exercises:
+
+* ``cold_write`` — persisting the full grid (``put_many``);
+* ``warm_lookup`` — store-level bulk record retrieval: one
+  ``fetch_raw_many`` pass over the segment index against one
+  ``open``+``read`` per loose file.  This is the layout-bound number
+  (no JSON decode), and carries the 5x soft gate;
+* ``warm_run_many`` — end-to-end ``get_many`` including JSON decode
+  and ``RunStats`` reconstruction.  Decode dominates both layouts, so
+  this ratio is structurally modest; it is recorded so the end-to-end
+  cost stays visible next to the store-level one;
+* ``gc`` — collecting a superseded version namespace of the same
+  size (N unlinks vs a handful of segment unlinks), 5x soft gate;
+* ``query`` — a filtered bulk scan (``cache.query``), recorded.
+
+``BENCH_STORE_RECORDS`` scales the grid: the ``bench-store`` CI job
+runs the full 100k records; plain test runs default to a few thousand
+so tier-1 stays fast.  The soft gates emit ``::warning`` annotations
+(not failures) when the measured ratio falls short at full size; the
+hard assertions only enforce conservative never-lose floors, because
+loaded CI runners are noisy.
+
+Run directly (``python benchmarks/bench_store.py``) or via pytest.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.engine import RunSpec
+from repro.engine.cache import ResultCache
+from repro.timing.stats import RunStats
+
+BENCH_OUT = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+#: records in the synthetic grid (CI's bench-store job sets 100000)
+RECORDS = int(os.environ.get("BENCH_STORE_RECORDS", "4000"))
+#: best-of-N for the repeatable warm rows (min defeats noise; the
+#: destructive rows — cold write, gc — are necessarily single-shot)
+ROUNDS = 3
+#: soft gates at full size: warm store-level lookup and namespace gc
+MIN_WARM_SPEEDUP = 5.0
+MIN_GC_SPEEDUP = 5.0
+#: cold writes must never lose to one-file-per-record
+MIN_COLD_RATIO = 1.0
+#: the soft gates only mean anything at the size they were set for
+GATED_RECORDS = 100_000
+
+
+def _grid(count: int) -> list[tuple[RunSpec, RunStats]]:
+    """Synthetic spec/stats pairs: spec validation is lazy (build
+    time), so invented benchmark names exercise the store without
+    running any simulation."""
+    pairs = []
+    for i in range(count):
+        spec = RunSpec(benchmark=f"synth{i % 16:02d}", coding="mom3d",
+                       memsys="vector", l2_latency=10 + i % 5,
+                       warm=bool(i % 2), seed=i // 80)
+        stats = RunStats(name=spec.label(), cycles=100_000 + i,
+                         instructions=80_000 + i, rf3d_words=i * 7,
+                         rf3d_reads=i * 3, rf3d_writes=i,
+                         l2_hit_rate=0.5 + (i % 100) / 200.0,
+                         coherence_events=i % 11)
+        pairs.append((spec, stats))
+    return pairs
+
+
+def _file_raw_lookup(cache: ResultCache, digests) -> int:
+    """The file layout's raw bulk fetch: open+read per digest."""
+    hits = 0
+    for digest in digests:
+        try:
+            with open(cache.dir / f"{digest}.json", "rb") as fh:
+                fh.read()
+            hits += 1
+        except OSError:
+            pass
+    return hits
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - start, result
+
+
+def _best_of(fn, *args):
+    """Best-of-ROUNDS wall clock (and the last round's result)."""
+    best, result = _timed(fn, *args)
+    for _ in range(ROUNDS - 1):
+        seconds, result = _timed(fn, *args)
+        best = min(best, seconds)
+    return best, result
+
+
+def run_benchmark() -> dict:
+    pairs = _grid(RECORDS)
+    specs = [spec for spec, _ in pairs]
+    # spec digests are layout-independent engine work: hash them once
+    # outside every timed region so the rows measure the store
+    digests = [spec.digest() for spec in specs]
+    workdir = Path(tempfile.mkdtemp(prefix="bench-store-"))
+    try:
+        caches = {
+            layout: ResultCache(workdir / layout, version="zz-active",
+                                layout=layout)
+            for layout in ("file", "segment")}
+
+        cold = {}
+        for layout, cache in caches.items():
+            seconds, fresh = _timed(cache.put_many, pairs)
+            cache.flush()
+            assert fresh == len(pairs)
+            cold[layout] = seconds
+
+        # drop in-memory state so lookups run against a reopened cache;
+        # the segment index load is a one-time open cost, reported
+        # separately rather than smeared into the per-lookup row
+        caches = {
+            layout: ResultCache(workdir / layout, version="zz-active",
+                                layout=layout)
+            for layout in ("file", "segment")}
+        open_seconds, store = _timed(caches["segment"].store)
+        warm = {}
+        warm["file"], hits = _best_of(_file_raw_lookup,
+                                      caches["file"], digests)
+        assert hits == len(digests)
+        warm["segment"], raw = _best_of(store.fetch_raw_many, digests)
+        assert len(raw) == len(digests)
+        del raw
+
+        end_to_end = {}
+        for layout, cache in caches.items():
+            seconds, found = _best_of(cache.get_many, specs)
+            assert len(found) == len(specs)
+            end_to_end[layout] = seconds
+
+        query = {}
+        for layout, cache in caches.items():
+            seconds, rows = _best_of(cache.query, "synth00")
+            assert len(rows) == RECORDS // 16
+            query[layout] = seconds
+
+        # gc: a superseded namespace of the same size beside the
+        # active one — N unlinks vs a handful of segment unlinks
+        gc = {}
+        for layout, cache in caches.items():
+            old = ResultCache(workdir / layout, version="aa-old",
+                              layout=layout)
+            old.put_many(pairs)
+            old.flush()
+            seconds, (removed, _bytes) = _timed(cache.gc)
+            assert removed >= len(pairs)
+            gc[layout] = seconds
+
+        payload = {
+            "grid": ("synthetic result grid, segment layout vs "
+                     "JSON-per-digest"),
+            "records": RECORDS,
+            "gated_records": GATED_RECORDS,
+            "rounds": ROUNDS,
+            "cold_write": {
+                "file_seconds": round(cold["file"], 4),
+                "segment_seconds": round(cold["segment"], 4),
+                "ratio": round(cold["file"] / cold["segment"], 2),
+                "floor": MIN_COLD_RATIO,
+            },
+            "warm_lookup": {
+                "file_seconds": round(warm["file"], 4),
+                "segment_seconds": round(warm["segment"], 4),
+                "segment_open_seconds": round(open_seconds, 4),
+                "ratio": round(warm["file"] / warm["segment"], 2),
+                "soft_gate": MIN_WARM_SPEEDUP,
+            },
+            "warm_run_many": {
+                "file_seconds": round(end_to_end["file"], 4),
+                "segment_seconds": round(end_to_end["segment"], 4),
+                "ratio": round(end_to_end["file"]
+                               / end_to_end["segment"], 2),
+            },
+            "gc": {
+                "file_seconds": round(gc["file"], 4),
+                "segment_seconds": round(gc["segment"], 4),
+                "ratio": round(gc["file"] / gc["segment"], 2),
+                "soft_gate": MIN_GC_SPEEDUP,
+            },
+            "query": {
+                "file_seconds": round(query["file"], 4),
+                "segment_seconds": round(query["segment"], 4),
+                "ratio": round(query["file"] / query["segment"], 2),
+            },
+        }
+        BENCH_OUT.write_text(json.dumps(payload, indent=2) + "\n",
+                             encoding="utf-8")
+        return payload
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def test_store_speedup():
+    payload = run_benchmark()
+    print()
+    print(json.dumps(payload, indent=2))
+    # Hard floors: conservative never-lose bounds that hold on noisy
+    # runners at any size.  The 5x targets are soft CI gates below.
+    assert payload["warm_lookup"]["ratio"] >= 1.5, payload
+    assert payload["gc"]["ratio"] >= 1.0, payload
+    assert payload["cold_write"]["ratio"] >= MIN_COLD_RATIO, payload
+    if payload["records"] >= GATED_RECORDS:
+        for row, gate in (("warm_lookup", MIN_WARM_SPEEDUP),
+                          ("gc", MIN_GC_SPEEDUP)):
+            if payload[row]["ratio"] < gate:
+                print(f"::warning title=bench-store::{row} ratio "
+                      f"{payload[row]['ratio']}x is below the {gate}x "
+                      f"target on this runner")
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_benchmark(), indent=2))

@@ -41,8 +41,12 @@ Subcommands:
   through the client SDK (same axes flags as ``sweep``).
 * ``worker`` — attach to a remote-backend service and execute leased
   shards on this machine's engine (see ``docs/backends.md``).
-* ``cache {ls,stat,gc [--dry-run]}`` — inspect the persistent result
-  cache per code version and garbage-collect superseded versions.
+* ``cache {ls,stat,gc [--dry-run],migrate [--to LAYOUT],query}`` —
+  inspect the persistent result cache per code version,
+  garbage-collect superseded versions (compacting live segments),
+  convert a namespace between the file and segment layouts, and
+  bulk-query stored results by spec fields (locally or against a
+  running service via ``--url``).
 
 Engine flags (accepted before or after the subcommand):
 
@@ -61,6 +65,10 @@ Engine flags (accepted before or after the subcommand):
 * ``--cache-dir DIR`` — persistent result-cache location (default
   ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
 * ``--no-cache`` — disable the persistent cache for this invocation.
+* ``--cache-layout {auto,segment,file}`` — the cache's backing store:
+  append-only segments + index (the default for fresh directories;
+  see ``docs/store.md``) or the historical one-JSON-per-result
+  layout.  ``auto`` keeps whatever the directory already uses.
 
 Commands that simulate print an ``[engine] simulations=...`` summary
 line to stderr; a warm-cache rerun reports ``simulations=0``.
@@ -91,7 +99,8 @@ def _make_runner(args) -> Runner:
                     cache_dir=args.cache_dir,
                     use_cache=not args.no_cache,
                     backend=_make_backend(args),
-                    grid_mode=args.grid_mode)
+                    grid_mode=args.grid_mode,
+                    cache_layout=args.cache_layout)
     if args.backend == "remote" and args.command != "serve":
         _host_work_queue(args, runner)
     return runner
@@ -527,14 +536,24 @@ def _cmd_cache(args) -> int:
         print("error: --dry-run only applies to 'cache gc'",
               file=sys.stderr)
         return 2
-    cache = ResultCache(args.cache_dir)
+    if args.action == "query":
+        return _cache_query(args)
+    cache = ResultCache(args.cache_dir, layout=args.cache_layout)
     versions = cache.versions()
     if args.action == "gc":
         stale = [v for v in versions if v != cache.version]
         removed, reclaimed = cache.gc(dry_run=args.dry_run)
         verb = "would remove" if args.dry_run else "removed"
-        print(f"{verb} {removed} entries ({reclaimed / 1024:.1f} KiB) "
-              f"from {len(stale)} superseded version(s)")
+        print(f"{verb} {removed} records ({reclaimed / 1024:.1f} KiB) "
+              f"across {len(stale)} superseded version(s) + active "
+              f"compaction")
+        return 0
+    if args.action == "migrate":
+        summary = cache.migrate(to=args.to, version=args.version)
+        print(f"migrated {summary['migrated']} records in "
+              f"{summary['version']} to the {summary['to']} layout"
+              + (f" ({summary['skipped']} unreadable left in place)"
+                 if summary["skipped"] else ""))
         return 0
     if not versions:
         print(f"cache at {cache.root} is empty")
@@ -542,12 +561,13 @@ def _cmd_cache(args) -> int:
     if args.action == "stat":
         from repro.harness.tables import Table
 
-        table = Table(["version", "entries", "KiB", "status"],
+        table = Table(["version", "layout", "entries", "KiB",
+                       "segments", "status"],
                       title=f"result cache at {cache.root}")
         for version in versions:
-            entries = cache.entries(version, labels=False)
-            table.add_row(version, len(entries),
-                          sum(e.size for e in entries) / 1024,
+            info = cache.stat(version)
+            table.add_row(version, info["layout"], info["entries"],
+                          info["bytes"] / 1024, info["segments"],
                           "active" if version == cache.version
                           else "superseded")
         print(table.render())
@@ -562,6 +582,40 @@ def _cmd_cache(args) -> int:
                 .strftime("%Y-%m-%d %H:%M:%S")
             print(f"  {entry.digest[:12]}  {entry.size:7d} B  "
                   f"{when}  {entry.label}")
+    return 0
+
+
+def _cache_query(args) -> int:
+    """``repro cache query``: bulk-scan results, locally or remotely."""
+    filters = {"benchmark": args.benchmark, "coding": args.coding,
+               "memsys": args.memsys, "l2_latency": args.l2_latency}
+    filters = {k: v for k, v in filters.items() if v is not None}
+    if args.url:
+        from repro.service import ServiceClient, ServiceError
+
+        client = ServiceClient(args.url)
+        try:
+            reply = client.query_results(version=args.version,
+                                         limit=args.limit, **filters)
+        except (ServiceError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        rows = reply.results
+        suffix = " (truncated)" if reply.truncated else ""
+        print(f"{len(rows)} result(s) from {args.url} "
+              f"[{reply.layout} layout, version {reply.version}]"
+              f"{suffix}")
+    else:
+        from repro.engine import ResultCache
+
+        cache = ResultCache(args.cache_dir, layout=args.cache_layout)
+        rows = cache.query(version=args.version, limit=args.limit,
+                           **filters)
+        print(f"{len(rows)} result(s) in {cache.root} "
+              f"[version {args.version or cache.version}]")
+    for spec, stats in rows:
+        print(f"  {spec.label():40s} cycles={stats.cycles:>10d} "
+              f"instructions={stats.instructions:>10d}")
     return 0
 
 
@@ -602,7 +656,7 @@ def _port(value: str) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    from repro.engine import BACKEND_NAMES, GRID_MODES
+    from repro.engine import BACKEND_NAMES, CACHE_LAYOUTS, GRID_MODES
 
     # Engine/runner flags are attached twice: once to the main parser
     # (with real defaults, so they work before the subcommand) and once
@@ -645,6 +699,13 @@ def main(argv: list[str] | None = None) -> int:
     group.add_argument("--no-cache", action="store_true",
                        default=argparse.SUPPRESS,
                        help="disable the persistent result cache")
+    group.add_argument("--cache-layout", choices=CACHE_LAYOUTS,
+                       default=argparse.SUPPRESS,
+                       help="result-cache backing store: auto (keep "
+                            "what the directory uses; segments for "
+                            "fresh ones), segment (append-only "
+                            "segments + index), file (one JSON per "
+                            "result)")
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -661,6 +722,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--work-port", type=_port, default=8737)
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--no-cache", action="store_true", default=False)
+    parser.add_argument("--cache-layout", choices=CACHE_LAYOUTS,
+                        default="auto")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments and benchmarks",
@@ -841,14 +904,41 @@ def main(argv: list[str] | None = None) -> int:
 
     p_cache = sub.add_parser(
         "cache", parents=[common],
-        help="inspect or garbage-collect the persistent result cache")
-    p_cache.add_argument("action", choices=("ls", "stat", "gc"),
+        help="inspect, query, migrate or garbage-collect the "
+             "persistent result cache")
+    p_cache.add_argument("action",
+                         choices=("ls", "stat", "gc", "migrate",
+                                  "query"),
                          help="ls: list entries per code version; "
-                              "stat: per-version totals; gc: delete "
-                              "superseded code versions")
+                              "stat: per-version totals from the "
+                              "store index; gc: delete superseded "
+                              "code versions and compact segments; "
+                              "migrate: convert between layouts; "
+                              "query: bulk-scan stored results by "
+                              "spec fields")
     p_cache.add_argument("--dry-run", action="store_true",
                          help="gc only: report what would be deleted "
                               "without touching the disk")
+    p_cache.add_argument("--to", choices=("segment", "file"),
+                         default="segment", metavar="LAYOUT",
+                         help="migrate only: target layout "
+                              "(default segment)")
+    p_cache.add_argument("--url", metavar="URL",
+                         help="query only: ask a running service "
+                              "(GET /v1/results) instead of reading "
+                              "the local cache directory")
+    p_cache.add_argument("--benchmark", help="query filter")
+    p_cache.add_argument("--coding", help="query filter")
+    p_cache.add_argument("--memsys", help="query filter")
+    p_cache.add_argument("--l2-latency", type=int, default=None,
+                         help="query filter")
+    p_cache.add_argument("--version", default=None, metavar="VER",
+                         help="query/migrate: code-version namespace "
+                              "(default: the active one)")
+    p_cache.add_argument("--limit", type=_positive_int, default=50,
+                         metavar="N",
+                         help="query only: maximum results to print "
+                              "(default 50)")
 
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,

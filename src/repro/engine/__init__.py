@@ -37,8 +37,14 @@ from repro.engine.backends import (
     WorkQueue,
     make_backend,
 )
-from repro.engine.cache import ResultCache, code_version, default_cache_root
+from repro.engine.cache import (
+    CACHE_LAYOUTS,
+    ResultCache,
+    code_version,
+    default_cache_root,
+)
 from repro.engine.keys import RunSpec
+from repro.engine.store import SegmentStore
 from repro.engine.parallel import (
     GRID_MODES,
     build_configs,
@@ -125,7 +131,8 @@ class Engine:
     def __init__(self, seed: int = 0, jobs: int = 1,
                  cache_dir=None, use_cache: bool = True,
                  backend: ExecutionBackend | str | None = None,
-                 grid_mode: str = "auto", metrics=None):
+                 grid_mode: str = "auto", metrics=None,
+                 cache_layout: str = "auto"):
         if grid_mode not in GRID_MODES:
             raise ValueError(
                 f"unknown grid mode {grid_mode!r}; expected one of "
@@ -139,7 +146,8 @@ class Engine:
             backend = make_backend(backend, jobs=jobs)
         self.backend: ExecutionBackend = backend
         self.cache: ResultCache | None = (
-            ResultCache(cache_dir) if use_cache else None)
+            ResultCache(cache_dir, layout=cache_layout)
+            if use_cache else None)
         self.stats = EngineStats()
         #: a :class:`repro.service.metrics.Metrics` registry this
         #: engine's counters are bound to (``ServiceServer`` binds one
@@ -209,14 +217,7 @@ class Engine:
                 f"unknown grid mode {grid_mode!r}; expected one of "
                 f"{GRID_MODES}")
         specs = list(dict.fromkeys(specs))  # dedupe, keep order
-        results: dict[RunSpec, RunStats] = {}
-        pending: list[RunSpec] = []
-        for spec in specs:
-            hit = self._lookup(spec)
-            if hit is not None:
-                results[spec] = hit
-            else:
-                pending.append(spec)
+        results, pending = self._lookup_many(specs)
         if pending:
             with self._lock:
                 self.stats.dispatches += 1
@@ -225,8 +226,7 @@ class Engine:
                                          grid_mode=grid_mode)
             with self._lock:
                 self.stats.simulations += len(fresh)
-            for spec, stats in fresh.items():
-                results[spec] = self._admit(spec, stats)
+            results.update(self._admit_many(fresh))
         return {spec: results[spec] for spec in specs}
 
     def _plan(self, pending, grid_mode: str) -> None:
@@ -262,6 +262,63 @@ class Engine:
                     return stats
         return None
 
+    def _lookup_many(self, specs) -> tuple[dict, list]:
+        """Bulk three-level lookup for a whole grid.
+
+        One locked pass resolves the memo hits, then a single
+        ``cache.get_many`` resolves every remaining spec against the
+        store — one index probe per digest on the segment layout
+        instead of one ``open`` per spec.  Returns ``(hits dict,
+        pending list)``; counters match N ``_lookup`` calls exactly.
+        """
+        results: dict[RunSpec, RunStats] = {}
+        misses: list[RunSpec] = []
+        with self._lock:
+            for spec in specs:
+                hit = self._memo.get(spec)
+                if hit is not None:
+                    self.stats.memo_hits += 1
+                    results[spec] = hit
+                else:
+                    misses.append(spec)
+        if self.cache is not None and misses:
+            found = self.cache.get_many(misses)  # disk reads, unlocked
+            if found:
+                with self._lock:
+                    for spec, stats in found.items():
+                        self.stats.disk_hits += 1
+                        existing = self._memo.get(spec)
+                        if existing is None:  # raced: keep the winner
+                            self._memo[spec] = stats
+                            existing = stats
+                        results[spec] = existing
+        return results, [spec for spec in misses if spec not in results]
+
+    def _admit_many(self, fresh) -> dict:
+        """Admit a batch of fresh results; first writer wins per spec.
+
+        The winners are decided under one lock pass and persisted in a
+        single ``cache.put_many`` append batch after releasing it, so
+        a shard's worth of results costs one store write, not N.
+        """
+        out: dict[RunSpec, RunStats] = {}
+        winners: list[tuple[RunSpec, RunStats]] = []
+        with self._lock:
+            store = self.cache is not None
+            for spec, stats in fresh.items():
+                existing = self._memo.get(spec)
+                if existing is not None:
+                    out[spec] = existing
+                    continue
+                self._memo[spec] = stats
+                out[spec] = stats
+                if store:
+                    self.stats.stores += 1
+                    winners.append((spec, stats))
+        if winners:
+            self.cache.put_many(winners)  # disk writes, unlocked
+        return out
+
     def _admit(self, spec: RunSpec, stats: RunStats) -> RunStats:
         """Admit one fresh result; first writer wins.
 
@@ -295,9 +352,10 @@ def run_many(specs, jobs: int = 1, cache_dir=None, use_cache: bool = True,
 
 
 __all__ = [
-    "BACKEND_NAMES", "Engine", "EngineStats", "ExecutionBackend",
-    "GRID_MODES", "InlineBackend", "ProcessBackend", "RemoteBackend",
-    "ResultCache", "RunSpec", "Sweep", "WorkQueue", "axes_product",
+    "BACKEND_NAMES", "CACHE_LAYOUTS", "Engine", "EngineStats",
+    "ExecutionBackend", "GRID_MODES", "InlineBackend", "ProcessBackend",
+    "RemoteBackend", "ResultCache", "RunSpec", "SegmentStore", "Sweep",
+    "WorkQueue", "axes_product",
     "build_configs", "build_memsys", "build_processor",
     "build_workload", "code_version", "default_cache_root",
     "execute_spec", "grid_eligible", "grid_group_key", "make_backend",

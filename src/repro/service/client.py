@@ -26,6 +26,7 @@ from repro.errors import ReproError
 from repro.explore import ExploreQuery
 from repro.service.schema import (
     SCHEMA_VERSION,
+    CacheQueryReply,
     ErrorReply,
     ExploreResult,
     JobRequest,
@@ -136,6 +137,30 @@ class ServiceClient:
                 pass
             raise ServiceError(status, reply)
         return raw.decode("utf-8")
+
+    def query_results(self, *, benchmark: str | None = None,
+                      coding: str | None = None,
+                      memsys: str | None = None,
+                      l2_latency: int | None = None,
+                      warm: bool | None = None,
+                      seed: int | None = None,
+                      version: str | None = None,
+                      limit: int | None = None) -> CacheQueryReply:
+        """``GET /v1/results``: bulk-query the server's result cache.
+
+        Filters match stored spec fields exactly; omitted ones match
+        everything.  The server caps ``limit`` at its grid bound and
+        flags ``truncated`` when more results existed.
+        """
+        params = {"benchmark": benchmark, "coding": coding,
+                  "memsys": memsys, "l2_latency": l2_latency,
+                  "seed": seed, "version": version, "limit": limit}
+        if warm is not None:
+            params["warm"] = "true" if warm else "false"
+        query = urllib.parse.urlencode(
+            {k: v for k, v in params.items() if v is not None})
+        path = "/v1/results" + (f"?{query}" if query else "")
+        return CacheQueryReply.from_wire(self._request("GET", path))
 
     def submit(self, specs: Iterable[RunSpec]) -> JobResult:
         """POST a spec grid; returns the initial job snapshot."""

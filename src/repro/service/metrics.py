@@ -277,6 +277,20 @@ def instrument_engine(metrics: Metrics, engine) -> None:
                   "version",
                   fn=lambda: len(cache) if cache is not None else 0)
 
+    def store_metric(key: str) -> float:
+        if cache is None:
+            return 0.0
+        return float(cache.store_metrics().get(key, 0) or 0)
+
+    metrics.gauge("repro_cache_store_bytes",
+                  "Bytes of segment-store data for the active code "
+                  "version (0 for the loose-file layout)",
+                  fn=lambda: store_metric("bytes"))
+    metrics.gauge("repro_cache_segments",
+                  "Segment files backing the active code version "
+                  "(0 for the loose-file layout)",
+                  fn=lambda: store_metric("segments"))
+
 
 #: WorkQueue counter keys surfaced as Prometheus counters.
 _QUEUE_COUNTERS = (

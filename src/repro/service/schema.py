@@ -191,6 +191,67 @@ def stats_from_wire(data, path: str = "stats") -> RunStats:
         raise _fail(path, f"malformed RunStats payload: {exc!r}") from None
 
 
+# -- cache query (GET /v1/results) -----------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheQueryReply:
+    """Bulk cache-query results: stored ``(spec, stats)`` pairs.
+
+    Specs decode through the *lenient* ``RunSpec.from_dict`` (not
+    :func:`spec_from_wire`): a cache may legitimately hold results for
+    ``trace:`` replays or synthetic benchmark names the submission
+    validator would refuse, and a query client only inspects them.
+    """
+
+    version: str | None
+    layout: str
+    truncated: bool
+    results: tuple[tuple[RunSpec, RunStats], ...]
+
+    def to_wire(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "version": self.version,
+            "layout": self.layout,
+            "count": len(self.results),
+            "truncated": self.truncated,
+            "results": [{"spec": spec_to_wire(spec),
+                         "stats": stats_to_wire(stats)}
+                        for spec, stats in self.results],
+        }
+
+    @classmethod
+    def from_wire(cls, payload) -> "CacheQueryReply":
+        path = "$"
+        payload = _require_mapping(payload, path)
+        check_schema_version(payload, path)
+        version = payload.get("version")
+        if version is not None and not isinstance(version, str):
+            raise _fail(f"{path}.version", "expected a string or null")
+        layout = _get_typed(payload, "layout", str, path, "file")
+        truncated = _get_typed(payload, "truncated", bool, path, False)
+        raw = _get_typed(payload, "results", Sequence, path, _REQUIRED)
+        if isinstance(raw, str):
+            raise _fail(f"{path}.results", "expected a list")
+        results = []
+        for i, item in enumerate(raw):
+            ipath = f"{path}.results[{i}]"
+            item = _require_mapping(item, ipath)
+            spec_dict = _require_mapping(item.get("spec"),
+                                         f"{ipath}.spec")
+            try:
+                spec = RunSpec.from_dict(spec_dict)
+            except (ConfigError, KeyError, ValueError, TypeError) as exc:
+                raise _fail(f"{ipath}.spec",
+                            f"malformed spec: {exc!r}") from None
+            stats = stats_from_wire(item.get("stats"),
+                                    path=f"{ipath}.stats")
+            results.append((spec, stats))
+        return cls(version=version, layout=layout, truncated=truncated,
+                   results=tuple(results))
+
+
 # -- requests --------------------------------------------------------------
 
 

@@ -14,6 +14,9 @@ No third-party dependencies: requests are parsed straight off an
   performance x power x area, driven through the same batching
   scheduler so candidate batches coalesce with ordinary jobs (see
   ``docs/explore.md``).
+* ``GET /v1/results`` — bulk-query the engine's result cache by spec
+  fields (``?benchmark=...&memsys=...&limit=...``); analytics over
+  accumulated runs without resimulating anything.
 * ``GET /v1/health`` — liveness probe.
 * ``GET /v1/stats`` — engine counters (simulations / hits / stores /
   dispatches), execution-backend counters, scheduler coalescing
@@ -39,6 +42,7 @@ import contextlib
 import json
 import sys
 import threading
+import urllib.parse
 from typing import Awaitable, Callable
 
 from concurrent.futures import ThreadPoolExecutor
@@ -60,7 +64,9 @@ from repro.service.scheduler import (
     JobStoreFull,
 )
 from repro.service.schema import (
+    MAX_GRID,
     SCHEMA_VERSION,
+    CacheQueryReply,
     ErrorReply,
     JobRequest,
     SchemaError,
@@ -314,9 +320,14 @@ class ServiceServer:
                 break
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
-        path = target.split("?", 1)[0].rstrip("/") or "/"
+        raw_path, _, query_string = target.partition("?")
+        path = raw_path.rstrip("/") or "/"
+        query = {}
+        for key, values in urllib.parse.parse_qs(
+                query_string, keep_blank_values=True).items():
+            query[key] = values[-1]
         body = await self._read_body(reader, headers)
-        return await self._route(method.upper(), path, body)
+        return await self._route(method.upper(), path, body, query)
 
     async def _read_body(self, reader: asyncio.StreamReader,
                          headers: dict) -> bytes:
@@ -336,8 +347,10 @@ class ServiceServer:
                 message=f"body exceeds {_MAX_BODY} bytes"))
         return await reader.readexactly(length) if length else b""
 
-    async def _route(self, method: str, path: str, body: bytes
+    async def _route(self, method: str, path: str, body: bytes,
+                     query: dict | None = None
                      ) -> tuple[int, dict | str]:
+        query = query or {}
         if path == "/v1/jobs":
             self._require_method(method, "POST", path)
             return await self._post_job(body)
@@ -356,6 +369,9 @@ class ServiceServer:
         if path == "/v1/work/complete":
             self._require_method(method, "POST", path)
             return self._post_work_complete(body)
+        if path == "/v1/results":
+            self._require_method(method, "GET", path)
+            return self._get_results(query)
         if path == "/v1/health":
             self._require_method(method, "GET", path)
             return 200, {"schema_version": SCHEMA_VERSION,
@@ -538,6 +554,68 @@ class ServiceServer:
         return 200, {"schema_version": SCHEMA_VERSION, "accepted": True,
                      "fresh": fresh, "duplicate": duplicate}
 
+    def _get_results(self, query: dict) -> tuple[int, dict]:
+        """``GET /v1/results``: bulk-scan the engine's result cache."""
+        cache = self.engine.cache
+        if cache is None:
+            raise _HttpReply(404, ErrorReply(
+                code="no-cache",
+                message="this server's engine runs without a result "
+                        "cache; nothing to query"))
+        allowed = {"benchmark", "coding", "memsys", "l2_latency",
+                   "warm", "seed", "version", "limit"}
+        unknown = sorted(set(query) - allowed)
+        if unknown:
+            raise _HttpReply(400, ErrorReply(
+                code="bad-query",
+                message=f"unknown query parameter(s) {unknown}; "
+                        f"expected a subset of {sorted(allowed)}"))
+        filters: dict = {}
+        for name in ("benchmark", "coding", "memsys", "version"):
+            if name in query:
+                filters[name] = query[name]
+        for name in ("l2_latency", "seed"):
+            if name in query:
+                try:
+                    filters[name] = int(query[name])
+                except ValueError:
+                    raise _HttpReply(400, ErrorReply(
+                        code="bad-query",
+                        message=f"{name} must be an integer, got "
+                                f"{query[name]!r}")) from None
+        if "warm" in query:
+            flag = query["warm"].lower()
+            if flag in ("true", "1"):
+                filters["warm"] = True
+            elif flag in ("false", "0"):
+                filters["warm"] = False
+            else:
+                raise _HttpReply(400, ErrorReply(
+                    code="bad-query",
+                    message=f"warm must be true/false, got "
+                            f"{query['warm']!r}"))
+        limit = MAX_GRID
+        if "limit" in query:
+            try:
+                limit = int(query["limit"])
+            except ValueError:
+                raise _HttpReply(400, ErrorReply(
+                    code="bad-query",
+                    message=f"limit must be an integer, got "
+                            f"{query['limit']!r}")) from None
+            if limit <= 0:
+                raise _HttpReply(400, ErrorReply(
+                    code="bad-query",
+                    message=f"limit must be positive, got {limit}"))
+            limit = min(limit, MAX_GRID)
+        version = filters.pop("version", None)
+        rows = cache.query(version=version, limit=limit + 1, **filters)
+        truncated = len(rows) > limit
+        reply = CacheQueryReply(
+            version=version or cache.version, layout=cache.layout,
+            truncated=truncated, results=tuple(rows[:limit]))
+        return 200, reply.to_wire()
+
     def _stats_payload(self) -> dict:
         cache = self.engine.cache
         backend = self.engine.backend
@@ -556,6 +634,11 @@ class ServiceServer:
                 "entries": len(cache) if cache is not None else 0,
                 "version": cache.version if cache is not None else None,
                 "root": str(cache.root) if cache is not None else None,
+                **({"layout": cache.layout,
+                    **{k: v for k, v in cache.store_metrics().items()
+                       if k != "layout"}}
+                   if cache is not None
+                   else {"layout": None, "bytes": 0, "segments": 0}),
             },
         }
 

@@ -123,6 +123,17 @@ def test_instrument_engine_series_and_hit_ratio(tmp_path):
     assert hit_ratio.value == pytest.approx(0.5)
     assert metrics.get("repro_cache_enabled").value == 1
     assert metrics.get("repro_cache_entries").value == 2
+    # segment-store footprint gauges track the default layout
+    assert engine.cache.layout == "segment"
+    assert metrics.get("repro_cache_store_bytes").value > 0
+    assert metrics.get("repro_cache_segments").value >= 1
+
+
+def test_store_gauges_zero_when_cache_disabled():
+    metrics = Metrics()
+    instrument_engine(metrics, Engine(use_cache=False, backend="inline"))
+    assert metrics.get("repro_cache_store_bytes").value == 0
+    assert metrics.get("repro_cache_segments").value == 0
 
 
 def test_instrument_work_queue_series():

@@ -149,6 +149,49 @@ def _raw(server, method, path, body=None, headers=()):
         connection.close()
 
 
+def test_results_endpoint_queries_the_cache(service):
+    """``GET /v1/results`` answers straight from the result cache."""
+    _server, client, _cache = service
+    specs = [RunSpec(BENCH, coding, "ideal")
+             for coding in ("mmx", "mom", "mom3d")]
+    expected = client.run_many(specs)
+
+    reply = client.query_results(benchmark=BENCH, memsys="ideal")
+    assert reply.layout in ("file", "segment")
+    assert reply.truncated is False
+    got = {spec: stats for spec, stats in reply.results}
+    for spec in specs:
+        assert got[spec].to_dict() == expected[spec].to_dict(), spec
+
+    narrowed = client.query_results(benchmark=BENCH, coding="mom3d",
+                                    memsys="ideal")
+    assert {spec.coding for spec, _ in narrowed.results} == {"mom3d"}
+    limited = client.query_results(benchmark=BENCH, memsys="ideal",
+                                   limit=2)
+    assert len(limited.results) == 2 and limited.truncated is True
+    assert client.query_results(benchmark="no-such-bench").results == ()
+
+
+def test_results_endpoint_rejects_bad_queries(service):
+    server, _client, _cache = service
+    for query in ("bogus=1", "limit=0", "limit=nope", "warm=maybe",
+                  "l2_latency=soon"):
+        status, body = _raw(server, "GET", f"/v1/results?{query}")
+        assert status == 400, query
+        assert json.loads(body)["error"]["code"] == "bad-query"
+    status, _ = _raw(server, "GET", "/v1/results?version=unknown-ver")
+    assert status == 200  # unknown version: empty results, not an error
+
+
+def test_results_endpoint_404_without_cache():
+    engine = Engine(use_cache=False, backend="inline")
+    with background_server(engine, window=0.01) as server:
+        with pytest.raises(ServiceError) as excinfo:
+            ServiceClient(server.url).query_results()
+        assert excinfo.value.status == 404
+        assert excinfo.value.reply.code == "no-cache"
+
+
 def test_unknown_endpoint_404(service):
     server, _client, _cache = service
     status, body = _raw(server, "GET", "/v2/jobs")

@@ -1,0 +1,470 @@
+"""Segment-store tests: format, recovery, concurrency, cache facade.
+
+Covers the tentpole storage engine directly (round-trips, rollover,
+index rebuilds, torn-tail crash recovery, two-process admission,
+compaction) and the :class:`ResultCache` behaviors layered on it
+(layout autodetection, loose-file fallback, migration both ways,
+query filters, stat, and the ``__len__``-after-``gc`` resync).
+"""
+
+import json
+import multiprocessing
+import os
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Engine, RunSpec
+from repro.engine.cache import (
+    CACHE_LAYOUTS,
+    DEFAULT_LAYOUT,
+    ResultCache,
+    detect_layout,
+)
+from repro.engine.store import (
+    FOOTER_DIGEST,
+    INDEX_NAME,
+    MAGIC,
+    SegmentStore,
+)
+from repro.timing.stats import RunStats
+
+BENCH = "gsm_encode"
+
+
+def _digest(i: int) -> str:
+    # i+1: the all-zero digest is the reserved footer sentinel
+    return "%064x" % (i + 1)
+
+
+def _payload(i: int) -> dict:
+    return {"value": i, "tag": f"record-{i}"}
+
+
+def _fill(store: SegmentStore, count: int, start: int = 0) -> None:
+    store.append_many((_digest(i), _payload(i))
+                      for i in range(start, start + count))
+
+
+# --- round trips & persistence -----------------------------------------------
+
+
+def test_store_round_trip_and_reopen(tmp_path):
+    with SegmentStore(tmp_path) as store:
+        _fill(store, 20)
+        assert len(store) == 20
+        assert _digest(3) in store
+        assert store.get(_digest(3)) == _payload(3)
+        assert store.get("f" * 64) is None
+        many = store.get_many([_digest(i) for i in range(0, 25, 5)])
+        assert many == {_digest(i): _payload(i) for i in range(0, 20, 5)}
+    with SegmentStore(tmp_path) as reopened:
+        assert len(reopened) == 20
+        assert dict(reopened.scan()) == \
+            {_digest(i): _payload(i) for i in range(20)}
+
+
+def test_store_first_writer_wins_and_footer_digest_refused(tmp_path):
+    with SegmentStore(tmp_path) as store:
+        assert store.append(_digest(0), {"v": "first"})
+        assert not store.append(_digest(0), {"v": "second"})
+        assert store.get(_digest(0)) == {"v": "first"}
+        assert not store.append(FOOTER_DIGEST, {"v": "sneaky"})
+        assert FOOTER_DIGEST not in store
+        assert store.append_many(
+            [(_digest(1), {"v": 1}), (_digest(1), {"v": "dup"}),
+             (_digest(2), {"v": 2})]) == [_digest(1), _digest(2)]
+
+
+def test_store_rollover_seals_segments(tmp_path):
+    with SegmentStore(tmp_path, max_segment_bytes=512) as store:
+        _fill(store, 30)
+        stat = store.stat()
+        assert stat["records"] == 30
+        assert stat["segments"] > 1
+        # every non-active segment is sealed by a footer
+        assert stat["sealed"] >= stat["segments"] - 1
+    with SegmentStore(tmp_path) as reopened:
+        assert len(reopened) == 30
+        assert reopened.get(_digest(29)) == _payload(29)
+
+
+def test_store_index_rebuild_after_deletion(tmp_path):
+    with SegmentStore(tmp_path, max_segment_bytes=512) as store:
+        _fill(store, 30)
+    (tmp_path / INDEX_NAME).unlink()
+    with SegmentStore(tmp_path) as rebuilt:
+        assert len(rebuilt) == 30
+        assert rebuilt.get(_digest(17)) == _payload(17)
+
+
+def test_store_stale_index_tail_scan(tmp_path):
+    store = SegmentStore(tmp_path)
+    _fill(store, 5)
+    store.flush()  # index knows exactly 5 records
+    _fill(store, 5, start=5)  # appended but never re-flushed
+    # crash: drop the store without close() (data was written through)
+    del store
+    with SegmentStore(tmp_path) as recovered:
+        assert len(recovered) == 10
+        assert recovered.get(_digest(7)) == _payload(7)
+
+
+def test_store_torn_tail_recovery(tmp_path):
+    with SegmentStore(tmp_path) as store:
+        _fill(store, 8)
+        (name,) = [n for n in store._segments]
+    path = tmp_path / name
+    (tmp_path / INDEX_NAME).unlink()  # force a full rescan
+    with open(path, "ab") as fh:  # a partial frame from a dead writer
+        fh.write(b"\xff\x00\x01torn-frame-gibberish")
+    with SegmentStore(tmp_path) as recovered:
+        assert len(recovered) == 8  # everything before the tear
+        assert recovered.get(_digest(7)) == _payload(7)
+        # appends after recovery land in a fresh segment and survive
+        recovered.append(_digest(100), _payload(100))
+    with SegmentStore(tmp_path) as again:
+        assert len(again) == 9
+
+
+def test_store_truncated_mid_record_drops_only_the_tail(tmp_path):
+    with SegmentStore(tmp_path) as store:
+        _fill(store, 4)
+        ref = store.index[_digest(3)]
+    (tmp_path / INDEX_NAME).unlink()
+    path = tmp_path / ref[0]
+    os.truncate(path, ref[1] + 10)  # cut into the last record
+    with SegmentStore(tmp_path) as recovered:
+        assert sorted(recovered.digests()) == \
+            sorted(_digest(i) for i in range(3))
+
+
+def test_store_foreign_files_left_alone(tmp_path):
+    foreign = tmp_path / "seg-999999.seg"
+    foreign.write_bytes(b"NOTASEGM" + b"x" * 100)
+    with SegmentStore(tmp_path) as store:
+        _fill(store, 3)
+        assert len(store) == 3
+        store.append(_digest(50), _payload(50))  # forces dead weight? no
+        dead, _ = store.compact()
+    assert foreign.read_bytes().startswith(b"NOTASEGM")
+    with SegmentStore(tmp_path) as reopened:
+        assert len(reopened) == 4
+
+
+def test_store_compact_drops_duplicates_dry_run_matches(tmp_path):
+    with SegmentStore(tmp_path, max_segment_bytes=512) as store:
+        _fill(store, 20)
+    # a second writer re-appends overlapping digests into its own
+    # segments (as after a racy dual-process run with a cold index)
+    (tmp_path / INDEX_NAME).unlink()
+    with open(tmp_path / "seg-900000.seg", "wb") as fh:
+        from repro.engine.store import _dumps, _frame
+        fh.write(MAGIC)
+        for i in range(5):
+            fh.write(_frame(_digest(i), _dumps({"v": "loser"})))
+    with SegmentStore(tmp_path) as store:
+        assert len(store) == 20
+        # name order makes the original segments win the tie
+        assert store.get(_digest(0)) == _payload(0)
+        dry = store.compact(dry_run=True)
+        real = store.compact()
+        assert dry == real
+        assert real[0] == 5  # five duplicate frames dropped
+        assert real[1] > 0
+        stat = store.stat()
+        assert stat == {"records": 20, "segments": 1, "bytes": stat["bytes"],
+                        "sealed": 1}
+        assert dict(store.scan()) == \
+            {_digest(i): _payload(i) for i in range(20)}
+        assert store.compact() == (0, 0)  # already tight: no-op
+
+
+def test_store_stat_counts_without_reads(tmp_path):
+    with SegmentStore(tmp_path, max_segment_bytes=512) as store:
+        _fill(store, 12)
+        stat = store.stat()
+        assert stat["records"] == 12
+        on_disk = sum((tmp_path / n).stat().st_size
+                      for n in store._segments)
+        assert stat["bytes"] == on_disk
+        assert store.record_sizes()[_digest(0)] > 72
+
+
+# --- property: random interleavings vs a dict oracle -------------------------
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(ops=st.lists(st.tuples(
+    st.sampled_from(["put", "put_many", "reopen", "compact", "flush"]),
+    st.lists(st.integers(min_value=0, max_value=40),
+             min_size=1, max_size=6)), max_size=25))
+def test_store_matches_dict_oracle(tmp_path, ops):
+    # one fresh directory per hypothesis example (tmp_path is reused)
+    import tempfile
+    root = Path(tempfile.mkdtemp(dir=tmp_path)) / "store"
+    serial = 0
+    oracle: dict[str, dict] = {}
+    store = SegmentStore(root, max_segment_bytes=2048)
+    try:
+        for op, keys in ops:
+            if op == "put":
+                digest = _digest(keys[0])
+                payload = {"n": serial, "k": keys[0]}
+                serial += 1
+                wrote = store.append(digest, payload)
+                assert wrote == (digest not in oracle)
+                oracle.setdefault(digest, payload)
+            elif op == "put_many":
+                items = []
+                for key in keys:
+                    items.append((_digest(key), {"n": serial, "k": key}))
+                    serial += 1
+                fresh = store.append_many(items)
+                expect_fresh = []
+                for digest, payload in items:
+                    if digest not in oracle and digest not in expect_fresh:
+                        expect_fresh.append(digest)
+                        oracle[digest] = payload
+                assert fresh == expect_fresh
+            elif op == "reopen":
+                store.close()
+                store = SegmentStore(root, max_segment_bytes=2048)
+            elif op == "compact":
+                store.compact()
+            else:
+                store.flush()
+            assert len(store) == len(oracle)
+        assert store.get_many(list(oracle)) == oracle
+        store.close()
+        store = SegmentStore(root)
+        assert dict(store.scan()) == oracle
+    finally:
+        store.close()
+
+
+# --- two-process concurrent admission ----------------------------------------
+
+
+def _writer_process(directory: str, start: int, count: int,
+                    queue) -> None:
+    with SegmentStore(directory) as store:
+        fresh = store.append_many(
+            (_digest(i), {"writer": start, "i": i})
+            for i in range(start, start + count))
+    queue.put((start, len(fresh)))
+
+
+def test_store_two_process_writers_never_interleave(tmp_path):
+    """Two processes write overlapping ranges into one directory; each
+    claims its own ``O_EXCL`` segment, so every record lands exactly
+    once per writer and a rebuild keeps one winner per digest."""
+    ctx = multiprocessing.get_context("spawn")
+    queue = ctx.Queue()
+    procs = [ctx.Process(target=_writer_process,
+                         args=(str(tmp_path), start, 40, queue))
+             for start in (0, 20)]  # digests 20..39 overlap
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    written = dict(queue.get(timeout=5) for _ in procs)
+    # overlapping digests (20..39) may land twice — once per writer,
+    # as duplicate frames in separate segments — or once, when the
+    # slower writer happened to open after the faster one flushed its
+    # index; never fewer than each writer's 20 exclusive digests
+    assert 20 <= written[0] <= 40 and 20 <= written[20] <= 40
+    duplicates = written[0] + written[20] - 60
+    assert duplicates >= 0
+    with SegmentStore(tmp_path) as store:
+        assert sorted(store.digests()) == \
+            sorted(_digest(i) for i in range(60))
+        for digest, payload in store.scan():
+            assert _digest(payload["i"]) == digest
+        # compaction squeezes out whatever duplicate frames the race
+        # left behind (a no-op when the writers fully serialized)
+        dead, reclaimed = store.compact()
+        assert dead == duplicates
+        assert (reclaimed > 0) == (duplicates > 0)
+        assert len(store) == 60
+        assert dict(store.scan())[_digest(25)]["i"] == 25
+
+
+# --- ResultCache over the store ----------------------------------------------
+
+
+def _spec(i: int) -> RunSpec:
+    return RunSpec(benchmark=BENCH, coding=("mmx", "mom", "mom3d")[i % 3],
+                   memsys="vector", l2_latency=10 + i, warm=bool(i % 2))
+
+
+def _stats(i: int) -> RunStats:
+    stats = RunStats(name=f"r{i}")
+    stats.cycles = 1000 + i
+    stats.instructions = 500 + i
+    return stats
+
+
+def test_cache_layout_detection_and_default(tmp_path):
+    assert DEFAULT_LAYOUT == "segment"
+    assert detect_layout(tmp_path / "missing") is None
+    cache = ResultCache(tmp_path, version="v1")
+    assert cache.layout == "segment"
+    cache.put(_spec(0), _stats(0))
+    cache.flush()
+    assert detect_layout(tmp_path / "v1") == "segment"
+    filecache = ResultCache(tmp_path, version="v2", layout="file")
+    filecache.put(_spec(0), _stats(0))
+    assert detect_layout(tmp_path / "v2") == "file"
+    # auto keeps what a directory already uses
+    assert ResultCache(tmp_path, version="v2").layout == "file"
+    assert ResultCache(tmp_path, version="v1").layout == "segment"
+    with pytest.raises(ValueError, match="unknown cache layout"):
+        ResultCache(tmp_path, version="v3", layout="columnar")
+    assert CACHE_LAYOUTS == ("auto", "file", "segment")
+
+
+@pytest.mark.parametrize("layout", ["file", "segment"])
+def test_cache_bulk_round_trip(tmp_path, layout):
+    cache = ResultCache(tmp_path, version="v1", layout=layout)
+    pairs = [(_spec(i), _stats(i)) for i in range(8)]
+    assert cache.put_many(pairs) == 8
+    assert cache.put_many(pairs[:3]) == 0  # first writer wins
+    assert len(cache) == 8
+    found = cache.get_many([spec for spec, _ in pairs] + [_spec(99)])
+    assert set(found) == {spec for spec, _ in pairs}
+    for spec, stats in pairs:
+        assert found[spec].to_dict() == stats.to_dict()
+
+
+def test_cache_loose_file_fallback_in_segment_dir(tmp_path):
+    filecache = ResultCache(tmp_path, version="v1", layout="file")
+    filecache.put(_spec(0), _stats(0))
+    # a segment-layout cache over the same dir still reads the loose
+    # entry (mid-migration state), counts it, and queries through it
+    cache = ResultCache(tmp_path, version="v1", layout="segment")
+    assert cache.get(_spec(0)).to_dict() == _stats(0).to_dict()
+    cache.put(_spec(1), _stats(1))
+    assert len(cache) == 2
+    assert cache.get_many([_spec(0), _spec(1)]).keys() == \
+        {_spec(0), _spec(1)}
+    assert cache.stat()["entries"] == 2
+
+
+@pytest.mark.parametrize("layout", ["file", "segment"])
+def test_cache_query_filters(tmp_path, layout):
+    cache = ResultCache(tmp_path, version="v1", layout=layout)
+    cache.put_many([(_spec(i), _stats(i)) for i in range(9)])
+    everything = cache.query()
+    assert len(everything) == 9
+    mom = cache.query(coding="mom")
+    assert {spec.coding for spec, _ in mom} == {"mom"}
+    assert len(cache.query(coding="mom", warm=True)) == \
+        sum(1 for spec, _ in mom if spec.warm)
+    assert cache.query(l2_latency=10)[0][0].l2_latency == 10
+    assert cache.query(benchmark="nope") == []
+    assert len(cache.query(limit=4)) == 4
+    one = cache.query(coding="mom3d", limit=1)
+    assert one[0][1].to_dict() == \
+        dict(cache.query(coding="mom3d")[0][1].to_dict())
+
+
+def test_cache_migrate_round_trip(tmp_path):
+    cache = ResultCache(tmp_path, version="v1", layout="file")
+    pairs = [(_spec(i), _stats(i)) for i in range(6)]
+    cache.put_many(pairs)
+    summary = cache.migrate(to="segment")
+    assert summary["migrated"] == 6 and summary["skipped"] == 0
+    assert summary["from"] == "file" and summary["to"] == "segment"
+    assert cache.layout == "segment"
+    assert not list((tmp_path / "v1").glob("0*.json"))
+    for spec, stats in pairs:
+        assert cache.get(spec).to_dict() == stats.to_dict()
+    back = cache.migrate(to="file")
+    assert back["migrated"] == 6
+    assert detect_layout(tmp_path / "v1") == "file"
+    fresh = ResultCache(tmp_path, version="v1")
+    assert fresh.layout == "file"
+    for spec, stats in pairs:
+        assert fresh.get(spec).to_dict() == stats.to_dict()
+
+
+def test_cache_migrate_skips_unreadable_entries(tmp_path):
+    cache = ResultCache(tmp_path, version="v1", layout="file")
+    cache.put(_spec(0), _stats(0))
+    (tmp_path / "v1" / ("b" * 64 + ".json")).write_text("{corrupt")
+    summary = cache.migrate(to="segment")
+    assert summary == {"version": "v1", "from": "file", "to": "segment",
+                       "migrated": 1, "skipped": 1}
+    # the unreadable file stays in place rather than being destroyed
+    assert (tmp_path / "v1" / ("b" * 64 + ".json")).exists()
+
+
+@pytest.mark.parametrize("layout", ["file", "segment"])
+def test_cache_len_resyncs_after_gc(tmp_path, layout):
+    """Regression: the file layout's incremental counter used to go
+    stale after ``gc`` — ``len`` reported entries gc had removed."""
+    cache = ResultCache(tmp_path, version="v-new", layout=layout)
+    cache.put_many([(_spec(i), _stats(i)) for i in range(4)])
+    assert len(cache) == 4  # primes the incremental counter
+    old = ResultCache(tmp_path, version="v-old", layout=layout)
+    old.put_many([(_spec(i), _stats(i)) for i in range(3)])
+    old.flush()
+    del old
+    # external writer appears mid-session: len must resync after gc
+    extra = ResultCache(tmp_path, version="v-new", layout=layout)
+    extra.put(_spec(10), _stats(10))
+    extra.flush()
+    removed, reclaimed = cache.gc()
+    assert removed >= 3 and reclaimed > 0
+    assert not (tmp_path / "v-old").exists()
+    assert len(cache) == 5 == cache.refresh_count()
+    assert cache.stat()["entries"] == 5
+
+
+@pytest.mark.parametrize("layout", ["file", "segment"])
+def test_cache_gc_dry_run_reports_real_bytes(tmp_path, layout):
+    cache = ResultCache(tmp_path, version="v-new", layout=layout)
+    cache.put(_spec(0), _stats(0))
+    old = ResultCache(tmp_path, version="v-old", layout=layout)
+    old.put_many([(_spec(i), _stats(i)) for i in range(5)])
+    old.flush()
+    del old
+    dry = cache.gc(dry_run=True)
+    assert (tmp_path / "v-old").is_dir()  # dry run touched nothing
+    real = cache.gc()
+    assert dry == real
+    assert not (tmp_path / "v-old").exists()
+    total = sum(entry.size for entry in cache.entries(labels=False))
+    assert cache.stat()["bytes"] >= total
+
+
+def test_cache_entry_sizes_account_for_every_byte(tmp_path):
+    cache = ResultCache(tmp_path, version="v1", layout="segment")
+    cache.put_many([(_spec(i), _stats(i)) for i in range(5)])
+    cache.flush()
+    entries = cache.entries(labels=False)
+    assert len(entries) == 5
+    assert all(entry.size > 72 for entry in entries)
+    assert all(entry.path.suffix == ".seg" for entry in entries)
+    labeled = cache.entries()
+    assert all(entry.label.startswith(BENCH) for entry in labeled)
+
+
+def test_engine_cache_layout_threads_through(tmp_path):
+    engine = Engine(cache_dir=tmp_path, cache_layout="file")
+    assert engine.cache.layout == "file"
+    spec = engine.spec(BENCH, "mom", "ideal")
+    engine.run(spec)
+    assert (tmp_path / engine.cache.version /
+            f"{spec.digest()}.json").exists()
+    segmented = Engine(cache_dir=tmp_path / "seg")
+    assert segmented.cache.layout == "segment"
+    segmented.run(spec)
+    segmented.cache.flush()
+    assert list((tmp_path / "seg" / segmented.cache.version)
+                .glob("*.seg"))

@@ -1,0 +1,107 @@
+"""Layout differential: file vs segment caches must be observationally
+identical.
+
+The acceptance criterion for the segmented store: the fig3 + fig9 +
+table1 grids produce byte-identical ``RunStats.to_dict()`` results and
+identical ``EngineStats`` counters whether the cache is backed by
+loose per-digest JSON files or by append-only segments — cold and
+warm, across the inline, process and remote execution backends — and
+a cache migrated from the file layout answers a warm restart with
+``simulations=0``.
+"""
+
+import dataclasses
+import threading
+
+import pytest
+
+from repro.engine import Engine, InlineBackend, ProcessBackend, RemoteBackend
+from repro.harness.experiments import paper_grids
+from repro.service import ServiceWorker, background_server
+
+GRID = paper_grids()
+
+
+def _stats_dicts(results) -> dict:
+    return {spec: stats.to_dict() for spec, stats in results.items()}
+
+
+def _counters(engine) -> dict:
+    return dataclasses.asdict(engine.stats)
+
+
+def _run(cache_dir, layout, backend=None, jobs=1):
+    engine = Engine(jobs=jobs, cache_dir=cache_dir, cache_layout=layout,
+                    backend=backend)
+    results = engine.run_many(GRID)
+    engine.cache.flush()
+    return _stats_dicts(results), _counters(engine)
+
+
+def test_paper_grids_file_vs_segment_cold_and_warm(tmp_path):
+    file_cold, file_cold_stats = _run(tmp_path / "file", "file")
+    seg_cold, seg_cold_stats = _run(tmp_path / "seg", "segment")
+    assert file_cold == seg_cold
+    assert file_cold_stats == seg_cold_stats
+    assert seg_cold_stats["simulations"] == len(GRID)
+
+    # warm: fresh engines over the same directories, autodetected
+    file_warm, file_warm_stats = _run(tmp_path / "file", "auto")
+    seg_warm, seg_warm_stats = _run(tmp_path / "seg", "auto")
+    assert file_warm == seg_warm == file_cold
+    assert file_warm_stats == seg_warm_stats
+    assert seg_warm_stats["simulations"] == 0
+    assert seg_warm_stats["disk_hits"] == len(GRID)
+
+
+def test_paper_grids_layout_parity_across_backends(tmp_path):
+    reference, _ = _run(tmp_path / "ref", "file", backend=InlineBackend())
+
+    process, process_stats = _run(tmp_path / "proc", "segment",
+                                  backend=ProcessBackend(jobs=2), jobs=2)
+    assert process == reference
+    assert process_stats["simulations"] == len(GRID)
+
+    backend = RemoteBackend(lease_ttl=10.0, wait_timeout=120.0)
+    engine = Engine(cache_dir=tmp_path / "remote",
+                    cache_layout="segment", backend=backend)
+    with background_server(engine, window=0.01) as server:
+        workers = [ServiceWorker(server.url, Engine(use_cache=False),
+                                 worker_id=f"w{i}", poll_interval=0.02)
+                   for i in range(2)]
+        threads = [threading.Thread(target=worker.run, daemon=True)
+                   for worker in workers]
+        for thread in threads:
+            thread.start()
+        try:
+            remote = engine.run_many(GRID, jobs=4)
+        finally:
+            for worker in workers:
+                worker.stop()
+            for thread in threads:
+                thread.join(timeout=30)
+    assert _stats_dicts(remote) == reference
+    engine.cache.flush()
+    # the remote run's admissions persisted: a warm engine over the
+    # same segment cache replays the grid without simulating
+    warm, warm_stats = _run(tmp_path / "remote", "auto")
+    assert warm == reference
+    assert warm_stats["simulations"] == 0
+
+
+def test_migrated_cache_warm_restart_answers_without_simulating(tmp_path):
+    cold, cold_stats = _run(tmp_path, "file")
+    assert cold_stats["simulations"] == len(GRID)
+
+    migrating = Engine(cache_dir=tmp_path, cache_layout="auto")
+    assert migrating.cache.layout == "file"
+    summary = migrating.cache.migrate(to="segment")
+    assert summary["migrated"] == len(GRID)
+    assert summary["skipped"] == 0
+
+    warm = Engine(cache_dir=tmp_path, cache_layout="auto")
+    assert warm.cache.layout == "segment"
+    results = warm.run_many(GRID)
+    assert _stats_dicts(results) == cold
+    assert warm.stats.simulations == 0
+    assert warm.stats.disk_hits == len(GRID)

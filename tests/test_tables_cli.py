@@ -164,13 +164,13 @@ def test_cli_cache_ls_stat_gc(tmp_path, capsys, monkeypatch):
 
     # --dry-run reports the same totals but touches nothing
     assert main(["cache", "gc", "--dry-run"]) == 0
-    assert "would remove 1 entries" in capsys.readouterr().out
+    assert "would remove 1 records" in capsys.readouterr().out
     assert stale.exists()
     assert main(["cache", "ls", "--dry-run"]) == 2
     assert "--dry-run" in capsys.readouterr().err
 
     assert main(["cache", "gc"]) == 0
-    assert "removed 1 entries" in capsys.readouterr().out
+    assert "removed 1 records" in capsys.readouterr().out
     assert not stale.exists()
 
     # the active version survives gc: a rerun must not simulate
