@@ -1,0 +1,237 @@
+"""CI chaos smoke: the fig3 grid through a fleet under injected faults.
+
+Stands up the full production topology itself —
+
+* ``repro serve --backend remote`` with ``store.write:torn@1`` in its
+  environment (the server's first result-cache segment write is torn
+  mid-frame: the cache must degrade to memo-only and keep serving);
+* ``repro autoscale`` whose spawned worker inherits
+  ``worker.simulate:sigkill@1`` (every supervised worker is SIGKILLed
+  mid-shard: the supervisor must restart it, and the orphaned lease
+  must expire back into the queue for the healthy worker);
+* one healthy ``repro worker`` that actually lands the grid —
+
+then asserts what resilience promises:
+
+* the fig3 results coming back over the wire are **byte-identical** to
+  an in-process ``Engine.run_many`` (chaos may cost latency, never
+  correctness);
+* zero lost or duplicated shards (``completed_specs`` == grid size,
+  ``duplicate_completions`` == 0, nothing left pending or leased);
+* the supervisor restarted the SIGKILLed worker (``restarts >= 1`` in
+  its ``/v1/supervisor/report`` pushes, ``repro_supervisor_*`` on
+  ``/v1/metrics``);
+* the torn write shows up as ``repro_degraded_cache_writes_total >= 1``
+  with the service still answering;
+* ``SIGTERM`` drains the server cleanly: exit code 0 within the grace
+  window, and the supervisor (seeing the drain flag) exits 0 too.
+
+Usage::
+
+    python scripts/chaos_smoke.py --port 8742 --out chaos.json
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine import Engine  # noqa: E402
+from repro.harness.experiments import fig3_sweep  # noqa: E402
+from repro.service import ServiceClient, ServiceError  # noqa: E402
+
+FAULT_SEED = "7"
+SERVER_FAULTS = "store.write:torn@1"
+WORKER_FAULTS = "worker.simulate:sigkill@1"
+
+
+def _clean_env() -> dict:
+    env = dict(os.environ)
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_FAULTS_SEED", None)
+    return env
+
+
+def _spawn(cmd, env, log_path):
+    log = open(log_path, "w")
+    return subprocess.Popen(cmd, env=env, stdin=subprocess.DEVNULL,
+                            stdout=log, stderr=subprocess.STDOUT)
+
+
+def _wait_health(client: ServiceClient, deadline: float) -> None:
+    while True:
+        try:
+            client.health()
+            return
+        except (ServiceError, OSError):
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.2)
+
+
+def _scrape(client: ServiceClient) -> dict:
+    out = {}
+    for line in client.metrics().splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        out[name] = float(value)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=8742)
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--timeout", type=float, default=240.0,
+                        help="overall budget for the chaotic cold grid")
+    args = parser.parse_args(argv)
+
+    url = f"http://127.0.0.1:{args.port}"
+    python = sys.executable
+    base = _clean_env()
+    base.setdefault("PYTHONPATH", "src")
+    root = Path.cwd()
+    caches = {name: root / f".chaos-cache-{name}"
+              for name in ("server", "fleet", "healthy")}
+
+    server_env = dict(base, REPRO_FAULTS=SERVER_FAULTS,
+                      REPRO_FAULTS_SEED=FAULT_SEED)
+    fleet_env = dict(base, REPRO_FAULTS=WORKER_FAULTS,
+                     REPRO_FAULTS_SEED=FAULT_SEED)
+
+    procs = {}
+    try:
+        procs["server"] = _spawn(
+            [python, "-m", "repro", "serve", "--port", str(args.port),
+             "--jobs", "4", "--backend", "remote", "--lease-ttl", "3",
+             "--drain-grace", "20",
+             "--cache-dir", str(caches["server"])],
+            server_env, "chaos-serve.log")
+        client = ServiceClient(url)
+        _wait_health(client, time.monotonic() + 30)
+
+        # the supervised fleet: every worker it spawns inherits the
+        # sigkill plan, so each incarnation dies on its first shard —
+        # a permanent crash loop the restart backoff must pace
+        procs["autoscale"] = _spawn(
+            [python, "-m", "repro", "autoscale", "--url", url,
+             "--min-workers", "1", "--max-workers", "2",
+             "--sweep-interval", "0.5", "--cooldown", "2",
+             "--stale-lease-age", "5",
+             f"--worker-arg=--cache-dir",
+             f"--worker-arg={caches['fleet']}"],
+            fleet_env, "chaos-autoscale.log")
+
+        specs = fig3_sweep().specs()
+        unique = list(dict.fromkeys(specs))
+        print(f"[chaos] submitting the fig3 grid "
+              f"({len(unique)} specs) into the storm")
+        job = client.submit(specs)
+
+        # with only doomed workers attached, the first lease is
+        # guaranteed to meet the SIGKILL; hold the healthy worker back
+        # until the supervisor has actually performed a restart
+        deadline = time.monotonic() + 60
+        while True:
+            report = client.stats().get("supervisor", {})
+            if report.get("restarts", 0) >= 1:
+                break
+            assert time.monotonic() < deadline, (
+                f"supervisor never reported a restart: {report}")
+            time.sleep(0.5)
+        print(f"[chaos] worker SIGKILLed mid-shard and restarted "
+              f"(restarts={report['restarts']}, "
+              f"spawned={report['spawned']})")
+
+        # now the healthy worker that actually lands the grid once
+        # the doomed workers' leases expire back into the queue
+        procs["worker"] = _spawn(
+            [python, "-m", "repro", "worker", "--url", url,
+             "--id", "chaos-healthy",
+             "--cache-dir", str(caches["healthy"])],
+            base, "chaos-worker.log")
+
+        done = client.wait(job.job_id, timeout=args.timeout)
+        remote = done.stats_by_spec()
+
+        # correctness first: chaos may cost latency, never answers
+        local = Engine(use_cache=False, jobs=2).run_many(specs)
+        mismatched = [spec.label() for spec in unique
+                      if remote[spec].to_dict() != local[spec].to_dict()]
+        assert not mismatched, \
+            f"chaos changed results: {mismatched}"
+        print(f"[chaos] all {len(unique)} results byte-identical to "
+              f"in-process Engine.run_many")
+
+        # zero lost shards: everything completed exactly once
+        stats = client.stats()
+        backend = stats["backend"]
+        assert backend["completed_specs"] == len(unique), backend
+        assert backend["duplicate_completions"] == 0, backend
+        assert backend["pending_shards"] == 0, backend
+        assert backend["leased_shards"] == 0, backend
+        assert backend["releases"] >= 1, (
+            f"the SIGKILLed worker's lease should have expired back "
+            f"into the queue: {backend}")
+        print(f"[chaos] queue reconciled: {backend['completions']} "
+              f"completions, {backend['releases']} TTL re-leases, "
+              f"0 duplicates, 0 lost")
+
+        series = _scrape(client)
+        for name in ("repro_supervisor_restarts_total",
+                     "repro_supervisor_workers",
+                     "repro_degraded_cache_writes_total",
+                     "repro_degraded_cache"):
+            assert name in series, f"/v1/metrics is missing {name}"
+        assert series["repro_supervisor_restarts_total"] >= 1, series
+        # the torn segment write degraded the server cache to
+        # memo-only — counted, not fatal
+        assert series["repro_degraded_cache_writes_total"] >= 1, series
+        assert series["repro_degraded_cache"] == 1.0, series
+        print("[chaos] torn store write degraded the cache to "
+              "memo-only and the service kept answering")
+
+        if args.out:
+            payload = {spec.digest(): remote[spec].to_dict()
+                       for spec in unique}
+            Path(args.out).write_text(
+                json.dumps(payload, sort_keys=True, indent=1) + "\n")
+            print(f"[chaos] wrote {args.out}")
+
+        # graceful drain: SIGTERM must refuse new work, flush, exit 0
+        procs["server"].send_signal(signal.SIGTERM)
+        code = procs["server"].wait(timeout=40)
+        assert code == 0, f"server drain exited {code}, wanted 0"
+        print("[chaos] SIGTERM drain: server exited 0")
+
+        # the supervisor sees the drain (or the server going away);
+        # SIGINT asks it to tear the fleet down and report
+        procs["autoscale"].send_signal(signal.SIGINT)
+        code = procs["autoscale"].wait(timeout=30)
+        assert code == 0, f"supervisor exited {code}, wanted 0"
+        print("[chaos] supervisor drained the fleet and exited 0")
+        return 0
+    finally:
+        for name, proc in procs.items():
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        for log in ("chaos-serve.log", "chaos-autoscale.log",
+                    "chaos-worker.log"):
+            if Path(log).exists():
+                print(f"--- {log} ---")
+                print(Path(log).read_text())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

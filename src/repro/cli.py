@@ -475,8 +475,36 @@ def _cmd_serve(args) -> int:
     serve(runner.engine, host=args.host, port=args.port,
           window=args.window, max_batch=args.max_batch,
           max_workers=args.workers, max_jobs=args.max_jobs,
+          quota_requests=args.quota_requests,
+          quota_specs=args.quota_specs,
+          drain_grace=args.drain_grace,
           announce=lambda url: print(f"[service] listening on {url}",
                                      file=sys.stderr))
+    return 0
+
+
+def _cmd_autoscale(args) -> int:
+    from repro.service import ServiceError, autoscale
+
+    try:
+        stats = autoscale(
+            args.url, min_workers=args.min_workers,
+            max_workers=args.max_workers, high_water=args.high_water,
+            idle_sweeps=args.idle_sweeps, cooldown=args.cooldown,
+            sweep_interval=args.sweep_interval,
+            stale_lease_age=args.stale_lease_age,
+            worker_args=tuple(args.worker_arg or ()),
+            announce=lambda url: print(
+                f"[autoscale] supervising workers for {url}",
+                file=sys.stderr))
+    except (ServiceError, TimeoutError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"[autoscale] sweeps={stats.sweeps} spawned={stats.spawned} "
+          f"restarts={stats.restarts} retired={stats.retired} "
+          f"scale-ups={stats.scale_ups} "
+          f"scale-downs={stats.scale_downs} "
+          f"poll-errors={stats.poll_errors}", file=sys.stderr)
     return 0
 
 
@@ -541,8 +569,21 @@ def _cmd_cache(args) -> int:
     cache = ResultCache(args.cache_dir, layout=args.cache_layout)
     versions = cache.versions()
     if args.action == "gc":
+        from repro.engine.store import CorruptFrameError
+
         stale = [v for v in versions if v != cache.version]
-        removed, reclaimed = cache.gc(dry_run=args.dry_run)
+        try:
+            removed, reclaimed = cache.gc(dry_run=args.dry_run)
+        except CorruptFrameError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            for digest, sidecar in exc.quarantined:
+                where = sidecar if sidecar is not None \
+                    else "(quarantine write failed)"
+                print(f"  {digest[:12]} -> {where}", file=sys.stderr)
+            print("the remaining store is compacted and consistent; "
+                  "rerun the affected specs to recompute the lost "
+                  "records", file=sys.stderr)
+            return 1
         verb = "would remove" if args.dry_run else "removed"
         print(f"{verb} {removed} records ({reclaimed / 1024:.1f} KiB) "
               f"across {len(stale)} superseded version(s) + active "
@@ -871,6 +912,20 @@ def main(argv: list[str] | None = None) -> int:
                          metavar="N",
                          help="running-jobs limit (further submissions "
                               "get HTTP 429 until some finish)")
+    p_serve.add_argument("--quota-requests", type=float, default=0,
+                         metavar="PER_MIN",
+                         help="per-client job submissions per minute "
+                              "(0 = unlimited); over-quota clients "
+                              "get HTTP 429 with Retry-After")
+    p_serve.add_argument("--quota-specs", type=float, default=0,
+                         metavar="PER_MIN",
+                         help="per-client submitted specs per minute "
+                              "(0 = unlimited)")
+    p_serve.add_argument("--drain-grace", type=_positive_float,
+                         default=30.0, metavar="SECONDS",
+                         help="SIGTERM drain: seconds to let in-flight "
+                              "work finish before exiting "
+                              "(default 30)")
 
     p_submit = sub.add_parser(
         "submit", parents=[common],
@@ -901,6 +956,45 @@ def main(argv: list[str] | None = None) -> int:
     p_worker.add_argument("--max-shards", type=int, default=None,
                           metavar="N",
                           help="exit after completing N shards")
+
+    p_autoscale = sub.add_parser(
+        "autoscale", parents=[common],
+        help="supervise a fleet of 'repro worker' subprocesses, "
+             "scaling with the server's queue depth")
+    p_autoscale.add_argument("--url",
+                             default="http://127.0.0.1:8737",
+                             help="service base URL")
+    p_autoscale.add_argument("--min-workers", type=int, default=1,
+                             metavar="N",
+                             help="never run fewer workers (default 1)")
+    p_autoscale.add_argument("--max-workers", type=int, default=4,
+                             metavar="N",
+                             help="never run more workers (default 4)")
+    p_autoscale.add_argument("--high-water", type=int, default=4,
+                             metavar="SHARDS",
+                             help="scale up past this many pending "
+                                  "shards per live worker (default 4)")
+    p_autoscale.add_argument("--idle-sweeps", type=int, default=3,
+                             metavar="N",
+                             help="consecutive empty sweeps before "
+                                  "retiring a worker (default 3)")
+    p_autoscale.add_argument("--cooldown", type=_positive_float,
+                             default=10.0, metavar="SECONDS",
+                             help="minimum pause between scaling "
+                                  "actions (default 10)")
+    p_autoscale.add_argument("--sweep-interval", type=_positive_float,
+                             default=2.0, metavar="SECONDS",
+                             help="control-loop period (default 2)")
+    p_autoscale.add_argument("--stale-lease-age",
+                             type=_positive_float, default=60.0,
+                             metavar="SECONDS",
+                             help="lease age treated as a dead worker "
+                                  "holding a shard (default 60)")
+    p_autoscale.add_argument("--worker-arg", action="append",
+                             metavar="ARG",
+                             help="extra argument passed through to "
+                                  "each spawned 'repro worker' "
+                                  "(repeatable)")
 
     p_cache = sub.add_parser(
         "cache", parents=[common],
@@ -947,7 +1041,8 @@ def main(argv: list[str] | None = None) -> int:
                 "report": _cmd_report,
                 "trace": _cmd_trace, "replay": _cmd_replay,
                 "serve": _cmd_serve, "submit": _cmd_submit,
-                "worker": _cmd_worker, "cache": _cmd_cache}
+                "worker": _cmd_worker, "autoscale": _cmd_autoscale,
+                "cache": _cmd_cache}
     try:
         return handlers[args.command](args)
     except ConfigError as exc:

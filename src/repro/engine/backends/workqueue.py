@@ -16,11 +16,15 @@ Delivery semantics:
   therefore delays its shard by at most one TTL.
 * **Idempotent completion** — the first completion of a shard wins,
   keyed by the spec digests it carries (a completion must cover its
-  shard's spec set exactly).  Completions for an already-completed or
-  already-collected shard — a slow worker racing the re-leased one —
-  are acknowledged but change nothing (``duplicate_completions``), so
-  a shard's results enter the engine's cache exactly once no matter
-  how many workers finish it.
+  shard's spec set exactly, under a lease id that was actually issued
+  for it — a never-issued lease id is a protocol error, not a race).
+  Completions for an already-completed or already-collected shard — a
+  slow worker racing the re-leased one — are acknowledged but change
+  nothing (``duplicate_completions``; the TTL re-lease race
+  specifically, where *both* the expired and the re-leased worker
+  finish, is additionally counted in ``late_completions``), so a
+  shard's results enter the engine's cache exactly once no matter how
+  many workers finish it.
 * **At-most-once results** — ``collect`` removes a shard's results
   when its waiter picks them up; shard ids are never reused.
 """
@@ -80,12 +84,19 @@ class WorkQueue:
     """Thread-safe shard queue with lease expiry and exactly-once
     result collection (see the module docstring for semantics)."""
 
-    def __init__(self, lease_ttl: float = 30.0, clock=time.monotonic):
+    def __init__(self, lease_ttl: float = 30.0, clock=time.monotonic,
+                 fault_plan=None):
         if lease_ttl <= 0:
             raise ValueError(
                 f"lease_ttl must be positive, got {lease_ttl}")
         self.lease_ttl = lease_ttl
         self._clock = clock
+        if fault_plan is None:
+            # lazy: the engine package must not import the service
+            # package at module load (the service imports us)
+            from repro.service.faults import resolve_plan
+            fault_plan = resolve_plan(None)
+        self._faults = fault_plan
         self._cond = threading.Condition()
         self._pending: deque[WorkShard] = deque()
         #: every enqueued-but-not-yet-collected shard, by id
@@ -97,6 +108,9 @@ class WorkQueue:
         #: shard ids whose results were collected or discarded —
         #: late completions for these are acknowledged duplicates
         self._retired: set[str] = set()
+        #: every lease id ever issued per shard — completions must
+        #: name one of these (never-issued ids are protocol errors)
+        self._issued: dict[str, set[str]] = {}
         self._counters = {
             "enqueued_shards": 0,
             "enqueued_specs": 0,
@@ -105,6 +119,7 @@ class WorkQueue:
             "completions": 0,
             "completed_specs": 0,
             "duplicate_completions": 0,
+            "late_completions": 0,
             "stale_completions": 0,
             "discarded": 0,
         }
@@ -175,23 +190,33 @@ class WorkQueue:
         Expired leases are re-issued before pending shards, so a dead
         worker's shard is the next thing a live worker picks up.
         """
+        rule = self._faults.fire("lease.grant")
+        if rule is not None and rule.action == "drop":
+            return None  # injected: pretend the queue is idle
+        ttl = self.lease_ttl
+        if rule is not None and rule.action == "expire":
+            ttl = 0.0  # injected: born expired — forces a re-lease
         with self._cond:
             now = self._clock()
             for sid, (_lease, _owner, _issued, until) in \
                     self._leases.items():
                 if until <= now:
-                    lease = self._issue(self._shards[sid], worker_id)
+                    lease = self._issue(self._shards[sid], worker_id,
+                                        ttl)
                     self._counters["releases"] += 1
                     return lease
             if self._pending:
-                return self._issue(self._pending.popleft(), worker_id)
+                return self._issue(self._pending.popleft(), worker_id,
+                                   ttl)
             return None
 
-    def _issue(self, shard: WorkShard, worker_id: str) -> WorkLease:
+    def _issue(self, shard: WorkShard, worker_id: str,
+               ttl: float) -> WorkLease:
         lease_id = _fresh_id()
         now = self._clock()
         self._leases[shard.shard_id] = (
-            lease_id, worker_id, now, now + self.lease_ttl)
+            lease_id, worker_id, now, now + ttl)
+        self._issued.setdefault(shard.shard_id, set()).add(lease_id)
         self._counters["leases"] += 1
         return WorkLease(lease_id=lease_id, worker_id=worker_id,
                          ttl=self.lease_ttl, shard=shard)
@@ -204,12 +229,22 @@ class WorkQueue:
 
         First completion wins.  A completion for a retired or
         already-completed shard is a no-op acknowledged as all-
-        duplicate; one carrying the wrong spec set (or an unknown
-        shard id) raises :class:`WorkQueueError`.
+        duplicate — and when it arrives under a lease id that really
+        was issued for the shard (the TTL re-lease race run to *both*
+        ends: the expired worker and its replacement each finish),
+        it additionally counts as a ``late_completion``.  One carrying
+        the wrong spec set, an unknown shard id, or a lease id never
+        issued for the shard raises :class:`WorkQueueError`.
         """
         with self._cond:
+            issued = self._issued.get(shard_id, set())
             if shard_id in self._retired or shard_id in self._done:
+                if lease_id not in issued:
+                    raise WorkQueueError(
+                        f"lease {lease_id!r} was never issued for "
+                        f"shard {shard_id!r}")
                 self._counters["duplicate_completions"] += 1
+                self._counters["late_completions"] += 1
                 return 0, len(results)
             shard = self._shards.get(shard_id)
             if shard is None:
@@ -222,6 +257,10 @@ class WorkQueue:
                     f"{len(expected)} spec(s) exactly "
                     f"({len(got - expected)} unknown, "
                     f"{len(expected - got)} missing)")
+            if lease_id not in issued:
+                raise WorkQueueError(
+                    f"lease {lease_id!r} was never issued for shard "
+                    f"{shard_id!r}")
             lease = self._leases.pop(shard_id, None)
             if lease is None or lease[0] != lease_id:
                 # expired-and-re-leased worker finishing first, or a

@@ -45,7 +45,12 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.engine.keys import RunSpec
-from repro.engine.store import INDEX_NAME, SEGMENT_SUFFIX, SegmentStore
+from repro.engine.store import (
+    INDEX_NAME,
+    SEGMENT_SUFFIX,
+    CorruptFrameError,
+    SegmentStore,
+)
 from repro.timing.stats import RunStats
 
 _ENTRY_SCHEMA = 1
@@ -169,6 +174,12 @@ class ResultCache:
         self._count: int | None = None
         self._bytes: int | None = None
         self._count_lock = threading.Lock()
+        # store I/O failures absorbed instead of failing the job —
+        # while the disk misbehaves the cache degrades to memo-only
+        # (the engine's memo keeps serving results; only persistence
+        # is lost) and these count how much was not stored/readable
+        self._degraded_writes = 0
+        self._degraded_reads = 0
         self._store: SegmentStore | None = None
         self._version_stores: dict[str, SegmentStore] = {}
         self._store_lock = threading.Lock()
@@ -239,10 +250,15 @@ class ResultCache:
         """Load the cached stats for ``spec``, or None on a miss.
 
         Unreadable/corrupt entries count as misses (they are simply
-        re-simulated and overwritten).
+        re-simulated and overwritten); a store that raises outright
+        counts as a degraded read (see :meth:`degraded_counters`).
         """
         if self.layout == "segment":
-            payload = self.store().get(spec.digest())
+            try:
+                payload = self.store().get(spec.digest())
+            except OSError:
+                self._note_degraded(reads=1)
+                payload = None
             if payload is None:
                 payload = self._loose_payload(spec.digest())
             if payload is None:
@@ -258,23 +274,45 @@ class ResultCache:
         return stats
 
     def put(self, spec: RunSpec, stats: RunStats) -> Path:
-        """Persist one result (atomically, in either layout)."""
+        """Persist one result (atomically, in either layout).
+
+        A store that raises an I/O error does **not** fail the job:
+        the failure is absorbed and counted (the cache degrades to
+        memo-only — the engine's memo still serves the result, only
+        persistence is lost until the disk recovers).
+        """
         if self.layout == "segment":
-            store = self.store()
             digest = spec.digest()
-            store.append_many(
-                [(digest, _entry_payload(self.version, spec, stats))])
-            ref = store.index.get(digest)
+            try:
+                store = self.store()
+                store.append_many(
+                    [(digest,
+                      _entry_payload(self.version, spec, stats))])
+                ref = store.index.get(digest)
+            except OSError:
+                self._note_degraded(writes=1)
+                ref = None
             return self.dir / (ref[0] if ref else f"{digest}.json")
-        self.dir.mkdir(parents=True, exist_ok=True)
         payload = _entry_payload(self.version, spec, stats)
         path = self.path_for(spec)
-        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+        except OSError:
+            self._note_degraded(writes=1)
+            return path
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh, sort_keys=True)
             fresh = not path.exists()
             os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            self._note_degraded(writes=1)
+            return path
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -306,7 +344,11 @@ class ResultCache:
             return out
         by_digest = {spec.digest(): spec for spec in specs}
         out = {}
-        raw = self.store().fetch_raw_many(by_digest)
+        try:
+            raw = self.store().fetch_raw_many(by_digest)
+        except OSError:
+            self._note_degraded(reads=1)
+            raw = {}
         for digest, spec in by_digest.items():
             blob = raw.get(digest)
             if blob is not None:
@@ -335,7 +377,32 @@ class ResultCache:
         items = [(spec.digest(),
                   _entry_payload(self.version, spec, stats))
                  for spec, stats in pairs]
-        return len(self.store().append_many(items))
+        try:
+            return len(self.store().append_many(items))
+        except OSError:
+            # the batch may have landed partially; everything the
+            # store did not index is memo-only until re-simulated
+            self._note_degraded(writes=len(items))
+            return 0
+
+    # -- degraded-mode accounting ------------------------------------------
+
+    def _note_degraded(self, writes: int = 0, reads: int = 0) -> None:
+        with self._count_lock:
+            self._degraded_writes += writes
+            self._degraded_reads += reads
+
+    def degraded_counters(self) -> dict:
+        """Store I/O failures absorbed so far (memo-only degradation).
+
+        ``writes`` counts results that may not have been persisted;
+        ``reads`` counts lookup batches the store failed outright
+        (normal misses are not degradation).  Surfaced on
+        ``/v1/metrics`` as the ``repro_degraded_*`` series.
+        """
+        with self._count_lock:
+            return {"writes": self._degraded_writes,
+                    "reads": self._degraded_reads}
 
     def query(self, benchmark: str | None = None,
               coding: str | None = None, memsys: str | None = None,
@@ -631,7 +698,8 @@ class ResultCache:
         # an empty directory proves nothing about ownership: skip it
         return bool(children) and all(
             child.is_file()
-            and child.suffix in (".json", ".tmp", SEGMENT_SUFFIX)
+            and child.suffix in (".json", ".tmp", ".corrupt",
+                                 SEGMENT_SUFFIX)
             for child in children)
 
     def migrate(self, to: str = "segment",
@@ -736,8 +804,17 @@ class ResultCache:
         With ``dry_run=True`` nothing is touched: the returned totals
         describe what a real ``gc`` *would* do (files that vanish or
         appear between the two calls can shift the numbers).
+
+        Compaction CRC-verifies every live frame it carries over.  A
+        frame that fails is quarantined to a ``.corrupt`` sidecar and
+        dropped, and after the store is left compacted and consistent
+        this method re-raises the store's
+        :class:`~repro.engine.store.CorruptFrameError` so callers
+        (``repro cache gc``) can report the loss loudly instead of
+        pretending the record survived.
         """
         removed = reclaimed = 0
+        corrupt: CorruptFrameError | None = None
         for version in self.versions():
             if version == self.version:
                 continue
@@ -776,13 +853,19 @@ class ResultCache:
                 except OSError:
                     pass
         if self.layout == "segment":
-            dead, compacted = self.store().compact(dry_run=dry_run)
+            try:
+                dead, compacted = self.store().compact(dry_run=dry_run)
+            except CorruptFrameError as err:
+                corrupt = err
+                dead, compacted = err.dead, err.reclaimed
             removed += dead
             reclaimed += compacted
         if not dry_run:
             # resync the incremental counters with what gc (or any
             # external writer) actually left on disk
             self.refresh_count()
+        if corrupt is not None:
+            raise corrupt
         return removed, reclaimed
 
 

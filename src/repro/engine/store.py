@@ -54,6 +54,32 @@ import threading
 import zlib
 from pathlib import Path
 
+class CorruptFrameError(RuntimeError):
+    """Compaction found live frames whose stored CRC no longer
+    matches their bytes (disk bit-rot, or an external writer).
+
+    The offending frames are quarantined to ``<digest>.corrupt``
+    sidecar files and dropped from the index *before* this is raised,
+    so the store is left compacted and consistent — the error exists
+    to make the loss loud (``repro cache gc`` exits non-zero) instead
+    of silently laundering corrupt bytes into a fresh segment with a
+    recomputed CRC.
+    """
+
+    def __init__(self, quarantined: list[tuple[str, str]],
+                 dead: int, reclaimed: int):
+        #: ``(digest, sidecar path)`` per quarantined frame
+        self.quarantined = quarantined
+        self.dead = dead
+        self.reclaimed = reclaimed
+        digests = ", ".join(d[:12] for d, _ in quarantined)
+        super().__init__(
+            f"{len(quarantined)} live frame(s) failed their CRC "
+            f"during compaction and were quarantined to .corrupt "
+            f"sidecars (digests: {digests}); the records are lost "
+            "and must be recomputed")
+
+
 MAGIC = b"RSEG0001"
 INDEX_NAME = "index.json"
 _INDEX_SCHEMA = 1
@@ -89,10 +115,16 @@ class SegmentStore:
 
     def __init__(self, directory, *,
                  max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
-                 index_flush_min: int = 512):
+                 index_flush_min: int = 512, fault_plan=None):
         self.directory = Path(directory)
         self.max_segment_bytes = max_segment_bytes
         self.index_flush_min = index_flush_min
+        if fault_plan is None:
+            # lazy: the engine package must not import the service
+            # package at module load (the service imports us)
+            from repro.service.faults import resolve_plan
+            fault_plan = resolve_plan(None)
+        self._faults = fault_plan
         #: digest -> (segment name, frame offset, payload length)
         self.index: dict[str, tuple[str, int, int]] = {}
         # segment name -> {"size": validated frontier, "sealed": bool,
@@ -420,6 +452,19 @@ class SegmentStore:
                 raw = _dumps(payload)
                 frame = _frame(digest, raw)
                 offset = self._active_size
+                rule = self._faults.fire("store.write")
+                if rule is not None:
+                    # injected I/O failure: behave exactly like a
+                    # crashed writer — a torn write leaves a partial
+                    # frame on disk (recovery's tail scan stops
+                    # there), and the abandoned segment is closed so
+                    # later appends claim a fresh one
+                    if rule.action == "torn":
+                        self._active_fh.write(frame[:len(frame) // 2])
+                        self._active_fh.flush()
+                    self._close_active()
+                    from repro.service.faults import InjectedFault
+                    raise InjectedFault("store.write", rule.action)
                 self._active_fh.write(frame)
                 self._active_size += len(frame)
                 meta = self._segments[self._active_name]
@@ -511,19 +556,28 @@ class SegmentStore:
                 return dead_records, reclaimed
 
             # stream live frames (verbatim, CRCs preserved) into a
-            # fresh segment claimed the same O_EXCL way
+            # fresh segment claimed the same O_EXCL way; every frame
+            # is CRC-verified on the way through — carrying a rotted
+            # frame into the new segment would recompute its CRC and
+            # launder the corruption into a "valid" record
             old_segments = list(self._segments)
             self._close_active()
             new_index: dict[str, tuple[str, int, int]] = {}
+            quarantined: list[tuple[str, str]] = []
             if live:
                 self._open_active()
                 name = self._active_name
                 for digest, ref in sorted(live.items(),
                                           key=lambda kv: kv[1]):
-                    raw = self._read_frame(ref)
-                    if raw is None:
+                    frame = self._read_whole_frame(ref)
+                    if frame is None:
                         continue  # lost to a concurrent deletion
-                    frame = _frame(digest, raw)
+                    _length, crc = _HEADER.unpack(frame[:_HEADER.size])
+                    if zlib.crc32(frame[_HEADER.size:]) != crc:
+                        quarantined.append(
+                            (digest, self._quarantine(digest, frame)))
+                        continue
+                    raw = frame[_FRAME_OVERHEAD:]
                     new_index[digest] = (name, self._active_size,
                                          len(raw))
                     self._active_fh.write(frame)
@@ -540,7 +594,34 @@ class SegmentStore:
                 self._segments.pop(name, None)
             self.index = new_index
             self._flush_index()
+            if quarantined:
+                raise CorruptFrameError(quarantined, dead_records,
+                                        reclaimed)
             return dead_records, reclaimed
+
+    def _read_whole_frame(self, ref: tuple[str, int, int]
+                          ) -> bytes | None:
+        """One frame including its header (for CRC re-verification)."""
+        name, offset, length = ref
+        fd = self._fd(name)
+        if fd is None:
+            return None
+        try:
+            frame = os.pread(fd, _FRAME_OVERHEAD + length, offset)
+        except OSError:
+            return None
+        if len(frame) < _FRAME_OVERHEAD + length:
+            return None
+        return frame
+
+    def _quarantine(self, digest: str, frame: bytes) -> str:
+        """Preserve a CRC-failing frame as a ``.corrupt`` sidecar."""
+        path = self.directory / f"{digest}.corrupt"
+        try:
+            path.write_bytes(frame)
+        except OSError:
+            pass  # quarantine is best-effort; the drop still happens
+        return str(path)
 
     # -- teardown ----------------------------------------------------------
 

@@ -19,15 +19,35 @@ The execution API, redesigned around *jobs* instead of direct calls:
   ``run_many``/``sweep`` return the in-process engine's result shape;
 * :mod:`repro.service.worker` — the pull-based ``ServiceWorker`` loop
   behind ``repro worker`` (lease a shard, simulate locally, upload —
-  the execution half of the engine's remote backend).
+  the execution half of the engine's remote backend);
+* :mod:`repro.service.supervisor` — the ``repro autoscale`` control
+  loop: spawn/retire/restart ``repro worker`` subprocesses from the
+  server's queue-depth and lease-age signals;
+* :mod:`repro.service.admission` — per-client token quotas and rate
+  limits behind ``repro serve --quota-requests/--quota-specs``;
+* :mod:`repro.service.faults` — the deterministic fault-injection
+  harness (``FaultPlan``) behind the chaos tests and
+  ``REPRO_FAULTS``.
 
 ``repro serve`` hosts it; ``repro submit`` talks to it; ``repro
-worker`` executes for it.  See ``docs/service.md`` for endpoints, wire
-schema and batching semantics, and ``docs/backends.md`` for the worker
-protocol.
+worker`` executes for it; ``repro autoscale`` keeps the workers
+running.  See ``docs/service.md`` for endpoints, wire schema and
+batching semantics, ``docs/backends.md`` for the worker protocol, and
+``docs/operations.md`` for running a resilient fleet.
 """
 
+from repro.service.admission import (
+    AdmissionController,
+    QuotaExceeded,
+    instrument_admission,
+)
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.faults import (
+    FaultPlan,
+    FaultSpecError,
+    InjectedFault,
+    NO_FAULTS,
+)
 from repro.service.metrics import (
     Counter,
     Gauge,
@@ -56,15 +76,23 @@ from repro.service.schema import (
     explore_query_to_wire,
 )
 from repro.service.server import ServiceServer, background_server, serve
+from repro.service.supervisor import (
+    AutoscaleSupervisor,
+    SupervisorStats,
+    autoscale,
+)
 from repro.service.worker import ServiceWorker, WorkerStats, work
 
 __all__ = [
-    "SCHEMA_VERSION", "BatchScheduler", "Counter", "ErrorReply",
-    "ExploreJob", "ExploreResult", "Gauge", "Histogram", "Job",
-    "JobRequest", "JobResult", "JobStore", "Metrics", "SchedulerStats",
-    "SchemaError", "ServiceClient", "ServiceError", "ServiceServer",
-    "ServiceWorker", "WorkCompletion", "WorkLeaseGrant", "WorkerStats",
+    "NO_FAULTS", "SCHEMA_VERSION", "AdmissionController",
+    "AutoscaleSupervisor", "BatchScheduler", "Counter", "ErrorReply",
+    "ExploreJob", "ExploreResult", "FaultPlan", "FaultSpecError",
+    "Gauge", "Histogram", "InjectedFault", "Job", "JobRequest",
+    "JobResult", "JobStore", "Metrics", "QuotaExceeded",
+    "SchedulerStats", "SchemaError", "ServiceClient", "ServiceError",
+    "ServiceServer", "ServiceWorker", "SupervisorStats",
+    "WorkCompletion", "WorkLeaseGrant", "WorkerStats", "autoscale",
     "background_server", "explore_query_from_wire",
-    "explore_query_to_wire", "instrument_engine",
-    "instrument_work_queue", "serve", "work",
+    "explore_query_to_wire", "instrument_admission",
+    "instrument_engine", "instrument_work_queue", "serve", "work",
 ]

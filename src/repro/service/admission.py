@@ -1,0 +1,209 @@
+"""Per-client admission control for the job endpoints.
+
+Serving heavy traffic means refusing some of it *well*: a burst of
+submissions past what the engine can absorb should turn into fast,
+structured 429 replies with honest ``Retry-After`` hints — not into an
+unbounded scheduler queue and timed-out pollers.
+
+:class:`AdmissionController` keys token buckets by client identity
+(the ``X-Repro-Client`` header, or the bearer token when one is
+presented; anonymous traffic shares one bucket) and enforces two
+independent limits on ``POST /v1/jobs`` / ``POST /v1/explore``:
+
+* **requests per minute** — how often a client may submit;
+* **specs per minute** — how much *work* those submissions may carry
+  (a single 4096-spec grid is not the same load as a 1-spec job).
+
+Buckets refill continuously (classic token bucket: burst up to the
+per-minute figure, then sustained at that rate).  A refused request
+raises :class:`QuotaExceeded` carrying the seconds until the bucket
+can honor it — the server maps this to HTTP 429 with a ``Retry-After``
+header, and :class:`~repro.service.client.ServiceClient` sleeps and
+retries within its retry budget.
+
+Both limits default to 0 = unlimited, so existing deployments are
+unaffected until ``repro serve --quota-requests/--quota-specs`` turns
+them on.  The clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+from repro.errors import ReproError
+
+#: Fallback identity for requests that present no client header.
+ANONYMOUS = "anonymous"
+
+#: Idle buckets are dropped after this long at full capacity, so the
+#: per-client map cannot grow unboundedly under churning identities.
+_BUCKET_IDLE_SECONDS = 600.0
+
+
+class QuotaExceeded(ReproError):
+    """A client is over one of its admission limits.
+
+    ``retry_after`` is the seconds until the refused request would
+    fit; the server rounds it up onto the ``Retry-After`` header.
+    """
+
+    def __init__(self, client: str, what: str, retry_after: float):
+        self.client = client
+        self.what = what
+        self.retry_after = max(0.0, retry_after)
+        super().__init__(
+            f"client {client!r} is over its {what} quota; retry in "
+            f"{math.ceil(self.retry_after)}s")
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (capacity = per-minute limit)."""
+
+    def __init__(self, per_minute: float, clock=time.monotonic):
+        self.capacity = float(per_minute)
+        self.rate = self.capacity / 60.0  # tokens per second
+        self._clock = clock
+        self._tokens = self.capacity
+        self._stamp = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._tokens = min(self.capacity,
+                           self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def take(self, amount: float = 1.0) -> float:
+        """Take ``amount`` tokens; 0.0 on success, else the seconds
+        until the bucket could honor the request (nothing is taken).
+
+        An ``amount`` beyond the bucket's whole capacity can never be
+        honored by waiting — it reports the time to refill from empty
+        to full, an intentionally long hint.
+        """
+        now = self._clock()
+        self._refill(now)
+        if amount > self.capacity:
+            # even a full bucket cannot honor this: report the full
+            # empty-to-full refill time rather than a false success
+            return self.capacity / self.rate if self.rate > 0 else 60.0
+        if amount <= self._tokens:
+            self._tokens -= amount
+            return 0.0
+        deficit = amount - self._tokens
+        return deficit / self.rate if self.rate > 0 else 60.0
+
+
+class AdmissionController:
+    """Token quotas + rate limits keyed by client identity.
+
+    ``requests_per_minute`` bounds submission frequency,
+    ``specs_per_minute`` bounds submitted work volume; either may be 0
+    for unlimited.  Thread-safe; one instance per served process.
+    """
+
+    def __init__(self, *, requests_per_minute: float = 0,
+                 specs_per_minute: float = 0, clock=time.monotonic):
+        if requests_per_minute < 0 or specs_per_minute < 0:
+            raise ValueError("quota limits cannot be negative")
+        self.requests_per_minute = float(requests_per_minute)
+        self.specs_per_minute = float(specs_per_minute)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: client -> (request bucket, spec bucket, last-touched stamp)
+        self._clients: dict[str, tuple[TokenBucket, TokenBucket,
+                                       float]] = {}
+        self.throttled = 0  # refusals issued (repro_quota_throttled)
+        self.admitted = 0
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.requests_per_minute or self.specs_per_minute)
+
+    def admit(self, client: str | None, specs: int = 1) -> None:
+        """Charge one submission of ``specs`` specs to ``client``.
+
+        Raises :class:`QuotaExceeded` (nothing charged) when either
+        limit refuses; a no-limit controller admits everything
+        without allocating any per-client state.
+        """
+        if not self.enabled:
+            self.admitted += 1
+            return
+        client = client or ANONYMOUS
+        now = self._clock()
+        with self._lock:
+            entry = self._clients.get(client)
+            if entry is None:
+                entry = (TokenBucket(self.requests_per_minute or 1e18,
+                                     self._clock),
+                         TokenBucket(self.specs_per_minute or 1e18,
+                                     self._clock),
+                         now)
+            requests, volume, _ = entry
+            self._clients[client] = (requests, volume, now)
+            self._sweep(now)
+            if self.requests_per_minute:
+                wait = requests.take(1)
+                if wait > 0:
+                    self.throttled += 1
+                    raise QuotaExceeded(client, "request-rate", wait)
+            if self.specs_per_minute:
+                wait = volume.take(specs)
+                if wait > 0:
+                    self.throttled += 1
+                    raise QuotaExceeded(client, "spec-volume", wait)
+            self.admitted += 1
+
+    def _sweep(self, now: float) -> None:
+        """Drop buckets idle past the horizon (bounds the map)."""
+        if len(self._clients) < 1024:
+            return
+        stale = [client for client, (_r, _v, touched)
+                 in self._clients.items()
+                 if now - touched > _BUCKET_IDLE_SECONDS]
+        for client in stale:
+            del self._clients[client]
+
+    def clients(self) -> int:
+        with self._lock:
+            return len(self._clients)
+
+    def stats(self) -> dict:
+        """Counter snapshot for ``/v1/stats`` and the metric binder."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "requests_per_minute": self.requests_per_minute,
+                "specs_per_minute": self.specs_per_minute,
+                "admitted": self.admitted,
+                "throttled": self.throttled,
+                "clients": len(self._clients),
+            }
+
+
+def instrument_admission(metrics, controller: AdmissionController
+                         ) -> None:
+    """Register the ``repro_quota_*`` series (idempotent)."""
+    if "repro_quota_throttled_total" in metrics:
+        return
+    metrics.counter("repro_quota_throttled_total",
+                    "Submissions refused with 429 by admission "
+                    "control",
+                    fn=lambda: controller.stats()["throttled"])
+    metrics.counter("repro_quota_admitted_total",
+                    "Submissions admitted past admission control",
+                    fn=lambda: controller.stats()["admitted"])
+    metrics.gauge("repro_quota_clients",
+                  "Distinct client identities holding quota buckets",
+                  fn=lambda: controller.stats()["clients"])
+    metrics.gauge("repro_quota_enabled",
+                  "1 when request/spec quotas are enforced",
+                  fn=lambda: 1.0 if controller.enabled else 0.0)
+
+
+__all__ = [
+    "ANONYMOUS", "AdmissionController", "QuotaExceeded", "TokenBucket",
+    "instrument_admission",
+]

@@ -39,21 +39,61 @@ from repro.service.schema import (
 from repro.timing.stats import RunStats
 
 
-class ServiceError(ReproError):
-    """The server answered with a non-2xx reply (or unreadable JSON)."""
+def _parse_retry_after(value: str | None) -> float | None:
+    """Seconds form of ``Retry-After`` (HTTP-date form unsupported)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except ValueError:
+        return None
+    return max(0.0, seconds)
 
-    def __init__(self, status: int, reply: ErrorReply | None):
+
+class ServiceError(ReproError):
+    """The server answered with a non-2xx reply (or unreadable JSON).
+
+    ``retry_after`` carries the server's ``Retry-After`` hint in
+    seconds when one was sent (429 quota refusals, 503 drain), else
+    ``None``.
+    """
+
+    def __init__(self, status: int, reply: ErrorReply | None,
+                 retry_after: float | None = None):
         self.status = status
         self.reply = reply
+        self.retry_after = retry_after
         detail = reply.message if reply is not None else "no error body"
         super().__init__(f"HTTP {status}: {detail}")
 
 
+#: Statuses worth retrying when a retry budget is configured: the
+#: server said "not now" (throttled or draining), not "never".
+_RETRYABLE = (429, 503)
+
+
 class ServiceClient:
-    """Small blocking SDK over the job endpoints."""
+    """Small blocking SDK over the job endpoints.
+
+    ``timeout`` is the per-request connect/read timeout (stdlib
+    ``http.client`` applies it to both).  ``retry_budget`` (seconds,
+    default 0 = fail fast) lets the client absorb 429/503 refusals and
+    transient connection errors: it sleeps the server's ``Retry-After``
+    hint (or an exponential backoff) and retries until the budget
+    would be exceeded.  ``client_id`` is sent as ``X-Repro-Client`` so
+    server-side quotas charge the right bucket.  ``clock`` and
+    ``sleep`` are injectable for tests; ``fault_plan`` threads a
+    :class:`~repro.service.faults.FaultPlan` under the transport for
+    chaos testing (``transport.lease`` / ``transport.complete`` /
+    ``transport.request`` sites).
+    """
 
     def __init__(self, base_url: str, *, timeout: float = 30.0,
-                 poll_interval: float = 0.05):
+                 poll_interval: float = 0.05,
+                 retry_budget: float = 0.0,
+                 client_id: str | None = None,
+                 clock=time.monotonic, sleep=time.sleep,
+                 fault_plan=None):
         if "//" not in base_url:  # bare host[:port] shorthand
             base_url = "http://" + base_url
         parsed = urllib.parse.urlsplit(base_url)
@@ -68,16 +108,75 @@ class ServiceClient:
         self.prefix = parsed.path.rstrip("/")
         self.timeout = timeout
         self.poll_interval = poll_interval
+        self.retry_budget = retry_budget
+        self.client_id = client_id
+        self._clock = clock
+        self._sleep = sleep
+        from repro.service.faults import resolve_plan
+        self._plan = resolve_plan(fault_plan)
 
     # -- HTTP --------------------------------------------------------------
 
+    def _fault_site(self, path: str) -> str:
+        if path.endswith("/v1/work/lease"):
+            return "transport.lease"
+        if path.endswith("/v1/work/complete"):
+            return "transport.complete"
+        return "transport.request"
+
     def _request(self, method: str, path: str,
                  payload: Mapping | None = None) -> dict:
+        """One logical request: fault seam + retry-with-budget."""
+        deadline = (self._clock() + self.retry_budget
+                    if self.retry_budget > 0 else None)
+        backoff = 0.05
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as exc:
+                if exc.status not in _RETRYABLE or deadline is None:
+                    raise
+                wait = (exc.retry_after if exc.retry_after is not None
+                        else backoff)
+                if self._clock() + wait > deadline:
+                    raise
+                self._sleep(wait)
+                backoff = min(backoff * 2, 2.0)
+            except OSError:
+                # connection refused/reset (server restarting, or an
+                # injected transport drop) — same budgeted retry
+                if deadline is None or self._clock() + backoff > deadline:
+                    raise
+                self._sleep(backoff)
+                backoff = min(backoff * 2, 2.0)
+
+    def _request_once(self, method: str, path: str,
+                      payload: Mapping | None) -> dict:
+        from repro.service.faults import InjectedFault
+        rule = self._plan.fire(self._fault_site(path)) \
+            if self._plan else None
+        if rule is not None:
+            if rule.action == "drop":
+                # the request never reaches the wire
+                raise InjectedFault(rule.site, "drop")
+            if rule.action == "delay":
+                self._sleep(float(rule.arg) if rule.arg else 0.05)
+        data = self._send(method, path, payload)
+        if rule is not None and rule.action == "dup":
+            # the wire delivered the request twice (a retried upload
+            # whose first copy actually landed); keep the second reply
+            data = self._send(method, path, payload)
+        return data
+
+    def _send(self, method: str, path: str,
+              payload: Mapping | None = None) -> dict:
         connection = http.client.HTTPConnection(self.host, self.port,
                                                 timeout=self.timeout)
         try:
             body = None
             headers = {"Accept": "application/json"}
+            if self.client_id:
+                headers["X-Repro-Client"] = self.client_id
             if payload is not None:
                 body = json.dumps(payload).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -86,6 +185,8 @@ class ServiceClient:
             response = connection.getresponse()
             raw = response.read()
             status = response.status
+            retry_after = _parse_retry_after(
+                response.getheader("Retry-After"))
         finally:
             connection.close()
         try:
@@ -99,7 +200,7 @@ class ServiceClient:
                     reply = ErrorReply.from_wire(data)
                 except SchemaError:
                     reply = None
-            raise ServiceError(status, reply)
+            raise ServiceError(status, reply, retry_after=retry_after)
         if not isinstance(data, dict):
             raise ServiceError(status, None)
         return data
@@ -108,6 +209,16 @@ class ServiceClient:
 
     def health(self) -> dict:
         return self._request("GET", "/v1/health")
+
+    def supervisor_report(self, report: Mapping) -> dict:
+        """``POST /v1/supervisor/report``: the autoscaler heartbeat.
+
+        The reply echoes the server's ``draining`` flag so the
+        supervisor learns of a SIGTERM drain on its next sweep.
+        """
+        return self._request(
+            "POST", "/v1/supervisor/report",
+            {"schema_version": SCHEMA_VERSION, "report": dict(report)})
 
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
@@ -162,9 +273,14 @@ class ServiceClient:
         path = "/v1/results" + (f"?{query}" if query else "")
         return CacheQueryReply.from_wire(self._request("GET", path))
 
-    def submit(self, specs: Iterable[RunSpec]) -> JobResult:
-        """POST a spec grid; returns the initial job snapshot."""
-        request = JobRequest(specs=tuple(specs))
+    def submit(self, specs: Iterable[RunSpec], *,
+               deadline: float | None = None) -> JobResult:
+        """POST a spec grid; returns the initial job snapshot.
+
+        ``deadline`` (seconds) bounds how long the server lets the job
+        run before resolving it ``expired`` for pollers.
+        """
+        request = JobRequest(specs=tuple(specs), deadline=deadline)
         return JobResult.from_wire(
             self._request("POST", "/v1/jobs", request.to_wire()))
 
@@ -190,20 +306,25 @@ class ServiceClient:
             self._request("GET", f"/v1/jobs/{job_id}"))
 
     def wait(self, job_id: str, timeout: float = 300.0) -> JobResult:
-        """Poll until the job leaves ``running`` (or raise on timeout)."""
-        deadline = time.monotonic() + timeout
+        """Poll until the job leaves ``running`` (or raise on timeout).
+
+        A job past its server-side deadline comes back ``expired`` —
+        raised here as a structured ``job-expired`` error rather than
+        hanging the poller.
+        """
+        deadline = self._clock() + timeout
         while True:
             result = self.poll(job_id)
             if result.status != "running":
-                if result.status == "failed":
+                if result.status in ("failed", "expired"):
                     raise ServiceError(200, ErrorReply(
-                        code="job-failed",
+                        code=f"job-{result.status}",
                         message=result.error or "job failed"))
                 return result
-            if time.monotonic() >= deadline:
+            if self._clock() >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still running after {timeout:.0f}s")
-            time.sleep(self.poll_interval)
+            self._sleep(self.poll_interval)
 
     # -- design-space exploration ------------------------------------------
 
@@ -220,7 +341,7 @@ class ServiceClient:
     def wait_explore(self, job_id: str,
                      timeout: float = 300.0) -> ExploreResult:
         """Poll an exploration until it leaves ``running``."""
-        deadline = time.monotonic() + timeout
+        deadline = self._clock() + timeout
         while True:
             result = self.poll_explore(job_id)
             if result.status != "running":
@@ -229,11 +350,11 @@ class ServiceClient:
                         code="explore-failed",
                         message=result.error or "exploration failed"))
                 return result
-            if time.monotonic() >= deadline:
+            if self._clock() >= deadline:
                 raise TimeoutError(
                     f"exploration {job_id} still running after "
                     f"{timeout:.0f}s")
-            time.sleep(self.poll_interval)
+            self._sleep(self.poll_interval)
 
     def run_explore(self, query: ExploreQuery,
                     timeout: float = 300.0) -> ExploreResult:

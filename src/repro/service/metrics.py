@@ -291,6 +291,26 @@ def instrument_engine(metrics: Metrics, engine) -> None:
                   "(0 for the loose-file layout)",
                   fn=lambda: store_metric("segments"))
 
+    def degraded(kind: str) -> float:
+        counters = getattr(cache, "degraded_counters", None)
+        if counters is None:
+            return 0.0
+        return float(counters().get(kind, 0))
+
+    metrics.counter("repro_degraded_cache_writes_total",
+                    "Results the cache failed to persist (store I/O "
+                    "errors absorbed; the engine memo kept serving "
+                    "them)", fn=lambda: degraded("writes"))
+    metrics.counter("repro_degraded_cache_reads_total",
+                    "Lookup batches the store failed outright "
+                    "(normal misses are not degradation)",
+                    fn=lambda: degraded("reads"))
+    metrics.gauge("repro_degraded_cache",
+                  "1 once the result cache has degraded to memo-only "
+                  "at least once this process (store I/O errors)",
+                  fn=lambda: 1.0 if (degraded("writes")
+                                     or degraded("reads")) else 0.0)
+
 
 #: WorkQueue counter keys surfaced as Prometheus counters.
 _QUEUE_COUNTERS = (
@@ -302,6 +322,10 @@ _QUEUE_COUNTERS = (
     ("completed_specs", "Specs those completions carried"),
     ("duplicate_completions",
      "Completions for already-completed/retired shards"),
+    ("late_completions",
+     "Duplicate completions under a genuinely issued lease (both "
+     "sides of the TTL re-lease race finishing, or a retried "
+     "upload), acknowledged idempotently"),
     ("stale_completions",
      "Valid completions arriving under an expired lease id"),
     ("discarded", "Shards abandoned after a collect timeout"),

@@ -267,13 +267,29 @@ class BatchScheduler:
 
 
 class Job:
-    """One submission's futures under a stable, pollable id."""
+    """One submission's futures under a stable, pollable id.
+
+    ``deadline`` (seconds, optional) starts the job's expiry clock at
+    admission: once it passes with futures still pending, the job
+    reports the terminal ``expired`` status — a structured timeout
+    for pollers — while the futures run on (their results still warm
+    the cache; in-flight dedup means other jobs may be waiting on
+    them too).  A job that finishes before anyone polls past the
+    deadline stays ``done``: expiry is judged at snapshot time
+    against future completion, not retroactively.
+    """
 
     def __init__(self, specs: Sequence[RunSpec],
-                 futures: Sequence[asyncio.Future]):
+                 futures: Sequence[asyncio.Future],
+                 deadline: float | None = None,
+                 clock=time.monotonic):
         self.job_id = uuid.uuid4().hex[:12]
         self.specs = tuple(specs)
         self.futures = tuple(futures)
+        self.deadline = deadline
+        self._clock = clock
+        self._expires_at = (None if deadline is None
+                            else clock() + deadline)
         #: a terminal snapshot has been delivered to some client —
         #: eviction prefers these, so an unfetched result survives a
         #: submission burst (see :meth:`JobStore.add`)
@@ -283,9 +299,14 @@ class Job:
     def done(self) -> bool:
         return all(future.done() for future in self.futures)
 
+    @property
+    def expired(self) -> bool:
+        return (self._expires_at is not None and not self.done
+                and self._clock() >= self._expires_at)
+
     def status(self) -> str:
         if not self.done:
-            return "running"
+            return "expired" if self.expired else "running"
         if any(future.exception() is not None for future in self.futures):
             return "failed"
         return "done"
@@ -305,6 +326,14 @@ class Job:
                       and future.exception() is not None]
             return JobResult(job_id=self.job_id, status=status,
                              error=str(errors[0]))
+        if status == "expired":
+            pending = sum(1 for f in self.futures if not f.done())
+            return JobResult(
+                job_id=self.job_id, status=status,
+                error=(f"deadline of {self.deadline:g}s exceeded with "
+                       f"{pending} of {len(self.futures)} spec(s) "
+                       "unresolved; the simulations continue and "
+                       "will be cached for a resubmission"))
         return JobResult(job_id=self.job_id, status=status)
 
 

@@ -52,8 +52,10 @@ from repro.workloads import benchmark_names
 #: Wire-format version; bumped on any incompatible change.
 SCHEMA_VERSION = 1
 
-#: Job lifecycle states a :class:`JobResult` may report.
-JOB_STATUSES = ("running", "done", "failed")
+#: Job lifecycle states a :class:`JobResult` may report.  ``expired``
+#: is terminal: the job's deadline passed before its futures resolved
+#: (a structured timeout, so pollers stop instead of hanging).
+JOB_STATUSES = ("running", "done", "failed", "expired")
 
 #: Largest spec grid one submission may carry (explicit or expanded
 #: from a sweep) — a tiny JSON sweep must not balloon server-side.
@@ -331,25 +333,48 @@ def _sweep_from_wire(data, path: str) -> Sweep:
 
 @dataclass(frozen=True)
 class JobRequest:
-    """A submission: the (deduplicated, order-preserving) spec grid."""
+    """A submission: the (deduplicated, order-preserving) spec grid.
+
+    ``deadline`` (optional, seconds from admission) bounds how long
+    the *job* may stay ``running``: past it, polls answer with the
+    terminal ``expired`` status and a structured timeout error
+    instead of leaving the client hanging.  The underlying
+    simulations are not cancelled — their results still land in the
+    cache for the next submission.
+    """
 
     specs: tuple[RunSpec, ...]
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "specs",
                            tuple(dict.fromkeys(self.specs)))
+        if self.deadline is not None and self.deadline <= 0:
+            raise _fail("$.deadline",
+                        "expected a positive number of seconds")
 
     def to_wire(self) -> dict:
-        return {
+        wire: dict = {
             "schema_version": SCHEMA_VERSION,
             "specs": [spec_to_wire(spec) for spec in self.specs],
         }
+        if self.deadline is not None:
+            wire["deadline"] = self.deadline
+        return wire
 
     @classmethod
     def from_wire(cls, payload) -> "JobRequest":
         """Decode a submission (explicit ``specs`` or a ``sweep``)."""
         payload = _require_mapping(payload, "$")
         check_schema_version(payload)
+        deadline = payload.get("deadline")
+        if deadline is not None:
+            if isinstance(deadline, bool) \
+                    or not isinstance(deadline, (int, float)) \
+                    or deadline <= 0:
+                raise _fail("$.deadline",
+                            "expected a positive number of seconds")
+            deadline = float(deadline)
         has_specs = "specs" in payload
         has_sweep = "sweep" in payload
         if has_specs == has_sweep:
@@ -367,7 +392,7 @@ class JobRequest:
                 specs = tuple(sweep.specs())
             except ConfigError as exc:
                 raise _fail("$.sweep", str(exc)) from None
-            return cls(specs=specs)
+            return cls(specs=specs, deadline=deadline)
         raw = payload["specs"]
         if isinstance(raw, str) or not isinstance(raw, Sequence):
             raise _fail("$.specs", "expected a list of spec objects")
@@ -385,7 +410,7 @@ class JobRequest:
                 errors.extend(exc.errors)
         if errors:
             raise SchemaError(errors)
-        return cls(specs=tuple(specs))
+        return cls(specs=tuple(specs), deadline=deadline)
 
 
 # -- results ---------------------------------------------------------------

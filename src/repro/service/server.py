@@ -40,8 +40,11 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import math
+import signal
 import sys
 import threading
+import time
 import urllib.parse
 from typing import Awaitable, Callable
 
@@ -50,6 +53,11 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.engine import Engine
 from repro.engine.backends.workqueue import WorkQueue, WorkQueueError
 from repro.explore import Exploration
+from repro.service.admission import (
+    AdmissionController,
+    QuotaExceeded,
+    instrument_admission,
+)
 from repro.service.metrics import (
     LATENCY_BUCKETS,
     Metrics,
@@ -86,15 +94,21 @@ _REQUEST_TIMEOUT = 30.0
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
             413: "Payload Too Large", 429: "Too Many Requests",
-            500: "Internal Server Error"}
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 
 class _HttpReply(Exception):
-    """Internal control flow: abort the handler with this reply."""
+    """Internal control flow: abort the handler with this reply.
 
-    def __init__(self, status: int, reply: ErrorReply):
+    ``headers`` carries extra response headers (``Retry-After`` on
+    throttled/draining refusals) onto the wire.
+    """
+
+    def __init__(self, status: int, reply: ErrorReply,
+                 headers: dict[str, str] | None = None):
         self.status = status
         self.reply = reply
+        self.headers = dict(headers or {})
         super().__init__(reply.message)
 
 
@@ -105,7 +119,9 @@ class ServiceServer:
                  host: str = "127.0.0.1", port: int = 0,
                  window: float = 0.02, max_batch: int = 64,
                  max_workers: int = 2, max_jobs: int = 256,
-                 metrics: Metrics | None = None):
+                 metrics: Metrics | None = None,
+                 admission: AdmissionController | None = None,
+                 drain_grace: float = 30.0):
         self.engine = engine if engine is not None else Engine()
         self.host = host
         self.port = port
@@ -122,6 +138,25 @@ class ServiceServer:
                                         max_workers=max_workers,
                                         metrics=self.metrics)
         self.jobs = JobStore(limit=max_jobs)
+        self.admission = (admission if admission is not None
+                          else AdmissionController())
+        if self.admission.enabled:
+            instrument_admission(self.metrics, self.admission)
+        #: graceful-shutdown state: once :meth:`drain` flips
+        #: ``draining``, submissions get 503 and workers get no new
+        #: leases while in-flight jobs run down within ``drain_grace``
+        #: seconds
+        self.drain_grace = drain_grace
+        self.draining = False
+        self.metrics.gauge(
+            "repro_server_draining",
+            "1 once SIGTERM drain has begun (no new jobs or leases)",
+            fn=lambda: 1.0 if self.draining else 0.0)
+        # the autoscale supervisor's latest self-report (POST
+        # /v1/supervisor/report) backing the repro_supervisor_* series
+        self._supervisor: dict = {}
+        self._supervisor_stamp: float | None = None
+        self._bind_supervisor_metrics()
         self._server: asyncio.AbstractServer | None = None
         # fleet health: the latest cumulative counter report each
         # worker attached to a lease poll or completion (additive
@@ -174,6 +209,38 @@ class ServiceServer:
             "Worker-reported wall time per completed shard.",
             buckets=LATENCY_BUCKETS)
 
+    def _bind_supervisor_metrics(self) -> None:
+        def field(key: str) -> float:
+            return float(self._supervisor.get(key, 0) or 0)
+
+        self.metrics.gauge(
+            "repro_supervisor_workers",
+            "Live workers under the autoscale supervisor (its last "
+            "report)", fn=lambda: field("workers"))
+        self.metrics.gauge(
+            "repro_supervisor_target",
+            "Worker count the supervisor is currently steering toward",
+            fn=lambda: field("target"))
+        self.metrics.counter(
+            "repro_supervisor_spawned_total",
+            "Workers the supervisor has spawned (scale-ups plus "
+            "restarts)", fn=lambda: field("spawned"))
+        self.metrics.counter(
+            "repro_supervisor_restarts_total",
+            "Crashed workers the supervisor restarted",
+            fn=lambda: field("restarts"))
+        self.metrics.counter(
+            "repro_supervisor_retired_total",
+            "Workers retired on scale-down",
+            fn=lambda: field("retired"))
+        self.metrics.gauge(
+            "repro_supervisor_report_age_seconds",
+            "Seconds since the supervisor last reported in (0 when it "
+            "never has)",
+            fn=lambda: (0.0 if self._supervisor_stamp is None
+                        else max(0.0, time.monotonic()
+                                 - self._supervisor_stamp)))
+
     def _bind_explore_metrics(self) -> None:
         totals = self._explore_totals
         jobs = self._explore_jobs
@@ -225,6 +292,43 @@ class ServiceServer:
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
 
+    async def drain(self, grace: float | None = None) -> bool:
+        """Graceful rundown: refuse new work, land what's in flight.
+
+        Flips :attr:`draining` (submissions 503, lease polls come back
+        empty), waits up to ``grace`` seconds for running jobs,
+        explorations and leased shards to finish — completions are
+        still accepted throughout — then flushes the result cache so
+        nothing already computed is lost.  Returns ``True`` when
+        everything landed inside the grace period, ``False`` when work
+        had to be abandoned.
+        """
+        grace = self.drain_grace if grace is None else grace
+        self.draining = True
+        deadline = time.monotonic() + max(0.0, grace)
+        queue = getattr(self.engine.backend, "queue", None)
+
+        def busy() -> bool:
+            if self.jobs.running():
+                return True
+            if any(not job.done for job in self._explore_jobs):
+                return True
+            if isinstance(queue, WorkQueue):
+                return bool(queue.counters()["leased_shards"])
+            return False
+
+        clean = True
+        while busy():
+            if time.monotonic() >= deadline:
+                clean = False
+                break
+            await asyncio.sleep(0.05)
+        cache = self.engine.cache
+        if cache is not None:
+            with contextlib.suppress(OSError):
+                cache.flush()
+        return clean
+
     async def close(self) -> None:
         if self._server is not None:
             self._server.close()
@@ -253,6 +357,7 @@ class ServiceServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        extra_headers: dict[str, str] = {}
         try:
             status, payload = await asyncio.wait_for(
                 self._handle_request(reader), _REQUEST_TIMEOUT)
@@ -264,6 +369,7 @@ class ServiceServer:
                         f"{_REQUEST_TIMEOUT:.0f}s").to_wire()
         except _HttpReply as stop:
             status, payload = stop.status, stop.reply.to_wire()
+            extra_headers = stop.headers
         except (ValueError, asyncio.IncompleteReadError):
             # over-long header/request line or a truncated body
             status = 400
@@ -281,9 +387,12 @@ class ServiceServer:
         else:
             body = json.dumps(payload).encode("utf-8")
             content_type = "application/json"
+        extras = "".join(f"{name}: {value}\r\n"
+                         for name, value in extra_headers.items())
         head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extras}"
                 f"Connection: close\r\n\r\n").encode("ascii")
         try:
             writer.write(head + body)
@@ -327,7 +436,8 @@ class ServiceServer:
                 query_string, keep_blank_values=True).items():
             query[key] = values[-1]
         body = await self._read_body(reader, headers)
-        return await self._route(method.upper(), path, body, query)
+        return await self._route(method.upper(), path, body, query,
+                                 headers)
 
     async def _read_body(self, reader: asyncio.StreamReader,
                          headers: dict) -> bytes:
@@ -348,18 +458,20 @@ class ServiceServer:
         return await reader.readexactly(length) if length else b""
 
     async def _route(self, method: str, path: str, body: bytes,
-                     query: dict | None = None
+                     query: dict | None = None,
+                     headers: dict | None = None
                      ) -> tuple[int, dict | str]:
         query = query or {}
+        headers = headers or {}
         if path == "/v1/jobs":
             self._require_method(method, "POST", path)
-            return await self._post_job(body)
+            return await self._post_job(body, headers)
         if path.startswith("/v1/jobs/"):
             self._require_method(method, "GET", path)
             return self._get_job(path[len("/v1/jobs/"):])
         if path == "/v1/explore":
             self._require_method(method, "POST", path)
-            return await self._post_explore(body)
+            return await self._post_explore(body, headers)
         if path.startswith("/v1/explore/"):
             self._require_method(method, "GET", path)
             return self._get_explore(path[len("/v1/explore/"):])
@@ -369,6 +481,9 @@ class ServiceServer:
         if path == "/v1/work/complete":
             self._require_method(method, "POST", path)
             return self._post_work_complete(body)
+        if path == "/v1/supervisor/report":
+            self._require_method(method, "POST", path)
+            return self._post_supervisor_report(body)
         if path == "/v1/results":
             self._require_method(method, "GET", path)
             return self._get_results(query)
@@ -404,20 +519,58 @@ class ServiceServer:
                 message=f"request body is not valid JSON: {exc}"
             )) from None
 
-    async def _post_job(self, body: bytes) -> tuple[int, dict]:
+    @staticmethod
+    def _client_identity(headers: dict) -> str | None:
+        """Who is submitting: ``X-Repro-Client``, else bearer token."""
+        client = headers.get("x-repro-client", "").strip()
+        if client:
+            return client
+        auth = headers.get("authorization", "")
+        scheme, _, token = auth.partition(" ")
+        if scheme.lower() == "bearer" and token.strip():
+            return token.strip()
+        return None
+
+    def _admit(self, headers: dict, specs: int) -> None:
+        """Charge admission quotas; 429 + ``Retry-After`` on refusal."""
+        try:
+            self.admission.admit(self._client_identity(headers), specs)
+        except QuotaExceeded as exc:
+            raise _HttpReply(
+                429,
+                ErrorReply(code="quota-exceeded", message=str(exc)),
+                headers={"Retry-After":
+                         str(max(1, math.ceil(exc.retry_after)))},
+            ) from None
+
+    def _refuse_when_draining(self) -> None:
+        if self.draining:
+            raise _HttpReply(
+                503,
+                ErrorReply(code="draining",
+                           message="server is draining for shutdown; "
+                                   "resubmit elsewhere or retry later"),
+                headers={"Retry-After":
+                         str(max(1, math.ceil(self.drain_grace)))})
+
+    async def _post_job(self, body: bytes,
+                        headers: dict | None = None) -> tuple[int, dict]:
+        self._refuse_when_draining()
         payload = self._parse_json(body)
         try:
             request = JobRequest.from_wire(payload)
         except SchemaError as exc:
             raise _HttpReply(
                 400, ErrorReply.from_schema_error(exc)) from None
+        self._admit(headers or {}, len(request.specs))
         # check capacity before queueing anything on the scheduler
         try:
             self.jobs.ensure_capacity()
         except JobStoreFull as exc:
             raise _HttpReply(429, ErrorReply(
                 code="too-many-jobs", message=str(exc))) from None
-        job = Job(request.specs, self.scheduler.submit(request.specs))
+        job = Job(request.specs, self.scheduler.submit(request.specs),
+                  deadline=request.deadline)
         self.jobs.add(job)
         snapshot = job.snapshot()
         if snapshot.status != "running":  # results delivered inline
@@ -441,13 +594,20 @@ class ServiceServer:
 
     # -- design-space exploration ------------------------------------------
 
-    async def _post_explore(self, body: bytes) -> tuple[int, dict]:
+    async def _post_explore(self, body: bytes,
+                            headers: dict | None = None
+                            ) -> tuple[int, dict]:
+        self._refuse_when_draining()
         payload = self._parse_json(body)
         try:
             query = explore_query_from_wire(payload)
         except SchemaError as exc:
             raise _HttpReply(
                 400, ErrorReply.from_schema_error(exc)) from None
+        # charge the request-rate bucket; an exploration's true spec
+        # volume is adaptive (halving rungs), so it is accounted as a
+        # single submission rather than a grid
+        self._admit(headers or {}, 1)
         try:
             self.jobs.ensure_capacity()
         except JobStoreFull as exc:
@@ -523,7 +683,9 @@ class ServiceServer:
             raise _HttpReply(
                 400, ErrorReply.from_schema_error(exc)) from None
         self._note_report(worker_id, report)
-        lease = queue.lease(worker_id)
+        # a draining server stops handing out work but keeps taking
+        # completions, so in-flight shards land before shutdown
+        lease = None if self.draining else queue.lease(worker_id)
         grant = None
         if lease is not None:
             grant = WorkLeaseGrant(
@@ -553,6 +715,29 @@ class ServiceServer:
                 code="invalid-work", message=str(exc))) from None
         return 200, {"schema_version": SCHEMA_VERSION, "accepted": True,
                      "fresh": fresh, "duplicate": duplicate}
+
+    def _post_supervisor_report(self, body: bytes) -> tuple[int, dict]:
+        """``POST /v1/supervisor/report``: the autoscaler's heartbeat.
+
+        The supervisor pushes its cumulative counters (workers, target,
+        spawned, restarts, retired, sweeps) so fleet dashboards see the
+        control loop through this server's ``repro_supervisor_*``
+        series without scraping a second process.
+        """
+        payload = self._parse_json(body)
+        if not isinstance(payload, dict):
+            raise _HttpReply(400, ErrorReply(
+                code="bad-request",
+                message="supervisor report must be a JSON object"))
+        report = payload.get("report")
+        if not isinstance(report, dict):
+            raise _HttpReply(400, ErrorReply(
+                code="bad-request",
+                message="supervisor report needs a 'report' object"))
+        self._supervisor = report
+        self._supervisor_stamp = time.monotonic()
+        return 200, {"schema_version": SCHEMA_VERSION,
+                     "accepted": True, "draining": self.draining}
 
     def _get_results(self, query: dict) -> tuple[int, dict]:
         """``GET /v1/results``: bulk-scan the engine's result cache."""
@@ -621,9 +806,12 @@ class ServiceServer:
         backend = self.engine.backend
         return {
             "schema_version": SCHEMA_VERSION,
+            "draining": self.draining,
             "engine": self.engine.stats.to_dict(),
             "backend": {"name": backend.name, **backend.counters()},
             "scheduler": self.scheduler.stats.to_dict(),
+            "admission": self.admission.stats(),
+            "supervisor": dict(self._supervisor),
             "explore": {
                 **self._explore_totals,
                 "running": sum(1 for job in self._explore_jobs
@@ -646,20 +834,55 @@ class ServiceServer:
 def serve(engine: Engine | None = None, *, host: str = "127.0.0.1",
           port: int = 8737, window: float = 0.02, max_batch: int = 64,
           max_workers: int = 2, max_jobs: int = 256,
+          quota_requests: float = 0, quota_specs: float = 0,
+          drain_grace: float = 30.0,
           announce: Callable[[str], None] | None = None) -> None:
-    """Blocking entry point (the ``repro serve`` subcommand)."""
+    """Blocking entry point (the ``repro serve`` subcommand).
+
+    SIGTERM triggers a graceful drain: new submissions get 503 and
+    lease polls come back empty while in-flight work runs down (up to
+    ``drain_grace`` seconds), the result cache is flushed, and the
+    process exits 0.  SIGINT stays an immediate stop.
+    """
 
     async def _main() -> None:
+        admission = AdmissionController(
+            requests_per_minute=quota_requests,
+            specs_per_minute=quota_specs)
         server = ServiceServer(engine, host=host, port=port,
                                window=window, max_batch=max_batch,
                                max_workers=max_workers,
-                               max_jobs=max_jobs)
+                               max_jobs=max_jobs, admission=admission,
+                               drain_grace=drain_grace)
         await server.start()
         if announce is not None:
             announce(server.url)
+        loop = asyncio.get_running_loop()
+        stopped = asyncio.Event()
+
+        async def _drain_then_stop() -> None:
+            clean = await server.drain()
+            state = "cleanly" if clean else "with work abandoned"
+            print(f"[service] drained {state}; shutting down",
+                  file=sys.stderr)
+            stopped.set()
+
+        def _on_sigterm() -> None:
+            if not server.draining:
+                loop.create_task(_drain_then_stop())
+
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signal.SIGTERM, _on_sigterm)
+        serve_task = asyncio.create_task(server.serve_forever())
+        stop_task = asyncio.create_task(stopped.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait({serve_task, stop_task},
+                               return_when=asyncio.FIRST_COMPLETED)
         finally:
+            for task in (serve_task, stop_task):
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
             await server.close()
 
     try:
@@ -673,7 +896,9 @@ def background_server(engine: Engine | None = None, *,
                       host: str = "127.0.0.1", port: int = 0,
                       window: float = 0.02, max_batch: int = 64,
                       max_workers: int = 2, max_jobs: int = 256,
-                      metrics: Metrics | None = None):
+                      metrics: Metrics | None = None,
+                      admission: AdmissionController | None = None,
+                      drain_grace: float = 30.0):
     """Run a server on a daemon thread; yields the started server.
 
     The event loop lives on the thread; the caller gets the bound
@@ -691,7 +916,9 @@ def background_server(engine: Engine | None = None, *,
         server = ServiceServer(engine, host=host, port=port,
                                window=window, max_batch=max_batch,
                                max_workers=max_workers,
-                               max_jobs=max_jobs, metrics=metrics)
+                               max_jobs=max_jobs, metrics=metrics,
+                               admission=admission,
+                               drain_grace=drain_grace)
         try:
             await server.start()
         except BaseException as exc:  # propagate bind errors to caller

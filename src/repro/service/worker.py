@@ -31,7 +31,9 @@ never completes anything.
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 import sys
 import threading
 import time
@@ -40,6 +42,7 @@ from dataclasses import asdict, dataclass
 
 from repro.engine import Engine
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.faults import InjectedFault, resolve_plan
 
 
 @dataclass
@@ -99,7 +102,8 @@ class ServiceWorker:
                  max_idle: float | None = None,
                  max_shards: int | None = None,
                  clock=time.monotonic,
-                 rng: random.Random | None = None):
+                 rng: random.Random | None = None,
+                 fault_plan=None):
         if retry_backoff <= 0:
             raise ValueError(
                 f"retry_backoff must be positive, got {retry_backoff}")
@@ -107,7 +111,11 @@ class ServiceWorker:
             raise ValueError(
                 f"retry_backoff_max ({retry_backoff_max}) must be >= "
                 f"retry_backoff ({retry_backoff})")
-        self.client = ServiceClient(url)
+        #: chaos harness: the same plan drives the client's transport
+        #: seams and this loop's ``worker.simulate`` seam (defaults to
+        #: the REPRO_FAULTS environment plan, usually empty)
+        self._plan = resolve_plan(fault_plan)
+        self.client = ServiceClient(url, fault_plan=self._plan)
         self.engine = engine if engine is not None else Engine()
         self.worker_id = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
         self.poll_interval = poll_interval
@@ -157,6 +165,7 @@ class ServiceWorker:
             self.stats.leases += 1
             started = self._clock()
             try:
+                self._simulate_fault(grant.shard_id)
                 results = self.engine.run_many(
                     grant.specs, grid_mode=grant.grid_mode)
             except Exception as exc:  # noqa: BLE001 - shard boundary
@@ -192,6 +201,30 @@ class ServiceWorker:
             # long it simulated: the idle budget restarts only now
             idle_since = self._clock()
         return self.stats
+
+    def _simulate_fault(self, shard_id: str) -> None:
+        """Fire the ``worker.simulate`` chaos seam for one shard.
+
+        ``crash`` raises (exercising the ordinary shard-failure path:
+        counted, logged, lease expires into a re-lease); ``sigkill``
+        kills this process outright mid-shard — the supervisor's
+        restart path and the server's TTL re-lease both get exercised
+        for real; ``delay`` stalls past the injected seconds (holding
+        the lease toward expiry).
+        """
+        if not self._plan:
+            return
+        rule = self._plan.fire("worker.simulate")
+        if rule is None:
+            return
+        if rule.action == "sigkill":
+            print(f"[worker] {self.worker_id}: injected SIGKILL "
+                  f"mid-shard {shard_id}", file=sys.stderr, flush=True)
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif rule.action == "crash":
+            raise InjectedFault("worker.simulate", "crash")
+        elif rule.action == "delay":
+            self._wait(float(rule.arg) if rule.arg else 1.0)
 
     def _next_backoff(self) -> float:
         """Advance the exponential backoff; returns the jittered pause.

@@ -187,6 +187,49 @@ def test_workqueue_lease_expiry_releases_shard():
     assert (fresh, dup) == (0, 2)
 
 
+def test_workqueue_two_sided_duplicate_race():
+    """The TTL re-lease race run to *both* ends: the replacement
+    worker completes first, then the presumed-dead original uploads
+    too.  The late completion must be acknowledged idempotently (not
+    errored, not double-admitted) and counted in the dedicated
+    ``late_completions`` counter — the mirror image of the
+    stale-completion ordering exercised above."""
+    now = [0.0]
+    queue = WorkQueue(lease_ttl=10.0, clock=lambda: now[0])
+    specs = (RunSpec(BENCH, "mom", "ideal"),
+             RunSpec(BENCH, "mom3d", "ideal"))
+    (shard_id,) = queue.enqueue([specs])
+    results = {spec: _stats(spec.label()) for spec in specs}
+
+    original = queue.lease("w-slow")
+    now[0] = 10.1  # TTL passes: the shard is re-leased
+    replacement = queue.lease("w-live")
+    assert replacement.lease_id != original.lease_id
+
+    # the replacement finishes first: the normal winning completion
+    fresh, dup = queue.complete(shard_id, replacement.lease_id, results)
+    assert (fresh, dup) == (2, 0)
+
+    # the original worker was only slow, not dead: its upload lands
+    # after the winner — acknowledged as a duplicate, counted as late
+    fresh, dup = queue.complete(shard_id, original.lease_id, results)
+    assert (fresh, dup) == (0, 2)
+    counters = queue.counters()
+    assert counters["completions"] == 1
+    assert counters["duplicate_completions"] == 1
+    assert counters["late_completions"] == 1
+    assert counters["stale_completions"] == 0
+
+    # results still collect exactly once
+    collected = queue.collect([shard_id], timeout=1)
+    assert set(collected) == set(specs)
+
+    # a lease id the queue never issued is a protocol error, live or
+    # retired — never silently absorbed into the duplicate path
+    with pytest.raises(WorkQueueError, match="never issued"):
+        queue.complete(shard_id, "forged-lease", results)
+
+
 def test_workqueue_completion_validation():
     queue = WorkQueue(lease_ttl=10.0)
     spec = RunSpec(BENCH, "mom", "ideal")

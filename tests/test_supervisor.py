@@ -1,0 +1,269 @@
+"""Autoscale supervisor: hysteresis, cooldown, restart backoff, drain.
+
+Everything runs on the fake-clock pattern from ``test_worker_loop.py``:
+the factory hands out fake process handles, ``stats_fn`` replays
+scripted queue counters, and the injectable clock makes cooldown and
+backoff windows exact instead of flaky sleeps.
+"""
+
+import pytest
+
+from repro.service.supervisor import AutoscaleSupervisor
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class FakeHandle:
+    """A process-shaped handle: poll/terminate/kill/wait."""
+
+    def __init__(self):
+        self.code = None
+        self.terminated = False
+        self.killed = False
+
+    def poll(self):
+        return self.code
+
+    def exit(self, code: int) -> None:  # the "process" crashes
+        self.code = code
+
+    def terminate(self) -> None:
+        self.terminated = True
+        if self.code is None:
+            self.code = 0
+
+    def kill(self) -> None:
+        self.killed = True
+        self.code = -9
+
+    def wait(self, timeout=None):
+        return self.code
+
+
+class FakeReportClient:
+    """Captures supervisor_report pushes; scripts the drain reply."""
+
+    def __init__(self):
+        self.reports = []
+        self.draining = False
+
+    def supervisor_report(self, report):
+        self.reports.append(dict(report))
+        return {"accepted": True, "draining": self.draining}
+
+    def stats(self):  # unused when stats_fn is injected
+        raise AssertionError("stats_fn should be injected")
+
+
+def make_supervisor(counters, **kwargs):
+    """A supervisor on a fake clock over scripted queue counters."""
+    clock = FakeClock()
+    handles = []
+
+    def factory(_url, _index):
+        handle = FakeHandle()
+        handles.append(handle)
+        return handle
+
+    state = {"backend": counters, "draining": False}
+    kwargs.setdefault("min_workers", 1)
+    kwargs.setdefault("max_workers", 3)
+    kwargs.setdefault("high_water", 2)
+    kwargs.setdefault("idle_sweeps", 3)
+    kwargs.setdefault("cooldown", 10.0)
+    supervisor = AutoscaleSupervisor(
+        "http://127.0.0.1:1", worker_factory=factory,
+        stats_fn=lambda: state, clock=clock, **kwargs)
+    supervisor.client = FakeReportClient()
+    return supervisor, clock, handles, state
+
+
+BUSY = {"pending_shards": 20, "leased_shards": 0,
+        "oldest_lease_age": 0.0}
+IDLE = {"pending_shards": 0, "leased_shards": 0,
+        "oldest_lease_age": 0.0}
+
+
+def test_scale_up_one_step_per_sweep_under_backlog():
+    supervisor, clock, handles, _state = make_supervisor(dict(BUSY))
+    supervisor.sweep()  # floor repair: 0 -> min_workers
+    assert supervisor.live_workers() == 1
+    clock.now += 11
+    supervisor.sweep()  # 20 pending > high_water * 1
+    assert supervisor.live_workers() == 2
+    clock.now += 11
+    supervisor.sweep()
+    assert supervisor.live_workers() == 3
+    clock.now += 11
+    supervisor.sweep()  # at max_workers: demand is capped
+    assert supervisor.live_workers() == 3
+    assert supervisor.stats.scale_ups == 3
+    assert len(handles) == 3
+
+
+def test_cooldown_gates_consecutive_scale_ups():
+    supervisor, clock, _handles, _state = make_supervisor(dict(BUSY))
+    supervisor.sweep()
+    clock.now += 11
+    supervisor.sweep()
+    assert supervisor.live_workers() == 2
+    supervisor.sweep()  # same instant: still cooling down
+    supervisor.sweep()
+    assert supervisor.live_workers() == 2
+    clock.now += 11
+    supervisor.sweep()
+    assert supervisor.live_workers() == 3
+
+
+def test_scale_down_needs_consecutive_idle_sweeps():
+    supervisor, clock, handles, state = make_supervisor(dict(BUSY))
+    supervisor.sweep()
+    clock.now += 11
+    supervisor.sweep()
+    assert supervisor.live_workers() == 2
+
+    state["backend"] = dict(IDLE)
+    clock.now += 11
+    supervisor.sweep()  # idle streak 1
+    clock.now += 11
+    supervisor.sweep()  # idle streak 2
+    assert supervisor.live_workers() == 2  # hysteresis holds
+    clock.now += 11
+    supervisor.sweep()  # idle streak 3: retire one
+    assert supervisor.live_workers() == 1
+    assert supervisor.stats.scale_downs == 1
+    assert any(handle.terminated for handle in handles)
+
+    # never below the floor, no matter how long the idle streak
+    for _ in range(6):
+        clock.now += 11
+        supervisor.sweep()
+    assert supervisor.live_workers() == 1
+
+
+def test_momentary_lull_does_not_thrash():
+    supervisor, clock, _handles, state = make_supervisor(dict(BUSY))
+    supervisor.sweep()
+    clock.now += 11
+    supervisor.sweep()
+    assert supervisor.live_workers() == 2
+    state["backend"] = dict(IDLE)
+    clock.now += 11
+    supervisor.sweep()  # one idle sweep...
+    state["backend"] = dict(BUSY)
+    clock.now += 11
+    supervisor.sweep()  # ...but the queue came back: streak resets
+    state["backend"] = dict(IDLE)
+    clock.now += 11
+    supervisor.sweep()
+    clock.now += 11
+    supervisor.sweep()
+    assert supervisor.live_workers() >= 2  # two idle sweeps < three
+
+
+def test_crashed_worker_restarts_with_capped_backoff():
+    supervisor, clock, handles, _state = make_supervisor(
+        dict(IDLE), restart_backoff=1.0, restart_backoff_max=4.0)
+    supervisor.sweep()  # floor repair
+    assert len(handles) == 1
+
+    handles[0].exit(1)
+    clock.now += 1
+    supervisor.sweep()  # first restart is immediate
+    assert supervisor.stats.restarts == 1
+    assert len(handles) == 2
+    assert supervisor.live_workers() == 1
+
+    # the replacement crashes instantly, repeatedly: each restart
+    # waits the doubled (capped) backoff instead of spinning
+    spawned_at = []
+    for _ in range(6):
+        handles[-1].exit(1)
+        before = len(handles)
+        supervisor.sweep()  # too soon: backoff holds
+        assert len(handles) == before
+        while len(handles) == before:
+            clock.now += 1.0
+            supervisor.sweep()
+        spawned_at.append(clock.now)
+    gaps = [b - a for a, b in zip(spawned_at, spawned_at[1:])]
+    assert max(gaps) <= 4.0 + 1.0  # capped at restart_backoff_max
+    assert gaps[-1] >= 3.0  # and genuinely backed off by then
+    assert supervisor.stats.restarts == 7
+
+
+def test_restart_backoff_is_per_slot():
+    supervisor, clock, handles, _state = make_supervisor(
+        dict(BUSY), restart_backoff=8.0, restart_backoff_max=8.0)
+    supervisor.sweep()
+    clock.now += 11
+    supervisor.sweep()
+    assert supervisor.live_workers() == 2
+    handles[0].exit(1)
+    clock.now += 11
+    supervisor.sweep()
+    assert supervisor.stats.restarts == 1
+    # the healthy slot's backoff was never touched: a later crash of
+    # the *other* worker restarts immediately too
+    handles[1].exit(1)
+    clock.now += 11
+    supervisor.sweep()
+    assert supervisor.stats.restarts == 2
+
+
+def test_reports_reach_the_server_every_sweep():
+    supervisor, clock, _handles, _state = make_supervisor(dict(IDLE))
+    supervisor.sweep()
+    clock.now += 11
+    supervisor.sweep()
+    reports = supervisor.client.reports
+    assert len(reports) == 2
+    assert reports[-1]["sweeps"] == 2
+    assert reports[-1]["workers"] == 1
+    assert {"target", "spawned", "restarts", "retired",
+            "pid"} <= set(reports[-1])
+
+
+def test_server_drain_flag_stops_the_loop_and_the_fleet():
+    supervisor, clock, handles, state = make_supervisor(dict(BUSY))
+
+    def wait(pause: float) -> bool:
+        clock.now += pause
+        return False
+
+    supervisor._wait = wait
+    state["draining"] = True  # the server got SIGTERM
+    stats = supervisor.run()
+    assert supervisor.draining
+    assert stats.sweeps == 1  # one look was enough
+    assert supervisor.slots == []  # fleet torn down
+    assert all(handle.code is not None for handle in handles)
+
+
+def test_unreachable_server_counts_poll_errors_not_crashes():
+    supervisor, clock, _handles, _state = make_supervisor(dict(IDLE))
+
+    def explode():
+        raise OSError("connection refused")
+
+    supervisor._stats_fn = explode
+    supervisor.sweep()
+    supervisor.sweep()
+    assert supervisor.stats.poll_errors >= 2
+    # no counters -> no scaling decisions beyond what exists
+    assert supervisor.stats.scale_ups == 0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="min_workers"):
+        AutoscaleSupervisor("http://x", min_workers=-1)
+    with pytest.raises(ValueError, match="max_workers"):
+        AutoscaleSupervisor("http://x", min_workers=3, max_workers=2)
+    with pytest.raises(ValueError, match="backoff"):
+        AutoscaleSupervisor("http://x", restart_backoff=0)
